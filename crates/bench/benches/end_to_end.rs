@@ -1,0 +1,49 @@
+//! Criterion bench: full release → inference pipelines at paper scale —
+//! the cost of one Fig. 5 / Fig. 6 trial.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hc_core::{HierarchicalUniversal, UnattributedHistogram};
+use hc_data::{Domain, Histogram};
+use hc_mech::Epsilon;
+use hc_noise::{rng_from_seed, Zipf};
+use std::hint::black_box;
+
+fn paper_scale_histogram(n: usize) -> Histogram {
+    let mut rng = rng_from_seed(5);
+    let zipf = Zipf::new(n / 4, 1.3).expect("valid parameters");
+    let mut counts = vec![0u64; n];
+    let head = zipf.sample_histogram(&mut rng, 300_000);
+    counts[..head.len()].copy_from_slice(&head);
+    Histogram::from_counts(Domain::new("x", n).expect("non-empty"), counts)
+}
+
+fn bench_pipelines(c: &mut Criterion) {
+    let histogram = paper_scale_histogram(1 << 16);
+    let eps = Epsilon::new(0.1).expect("valid ε");
+
+    let mut group = c.benchmark_group("end_to_end_65536");
+    group.sample_size(20);
+
+    group.bench_function("unattributed_release_and_infer", |b| {
+        let task = UnattributedHistogram::new(eps);
+        let mut rng = rng_from_seed(6);
+        b.iter(|| {
+            let release = task.release(black_box(&histogram), &mut rng);
+            black_box(release.inferred())
+        });
+    });
+
+    group.bench_function("universal_release_and_infer", |b| {
+        let pipeline = HierarchicalUniversal::binary(eps);
+        let mut rng = rng_from_seed(7);
+        b.iter(|| {
+            let release = pipeline.release(black_box(&histogram), &mut rng);
+            black_box(release.infer_rounded())
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipelines);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Criterion bench: hierarchical inference — the Theorem-3 closed form vs
+//! generic solvers (dense OLS, sparse CG) on the same problem.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hc_core::hierarchical_inference;
+use hc_linalg::{conjugate_gradient, CgOptions, CsrMatrix, Matrix};
+use hc_mech::TreeShape;
+use hc_noise::{rng_from_seed, Laplace};
+use std::hint::black_box;
+
+fn noisy_tree(shape: &TreeShape, seed: u64) -> Vec<f64> {
+    let mut rng = rng_from_seed(seed);
+    let noise = Laplace::centered(shape.height() as f64).expect("positive scale");
+    (0..shape.nodes()).map(|_| 5.0 + noise.sample(&mut rng)).collect()
+}
+
+fn aggregation_triplets(shape: &TreeShape) -> Vec<(usize, usize, f64)> {
+    let mut triplets = Vec::new();
+    for v in 0..shape.nodes() {
+        let span = shape.leaf_span(v);
+        for leaf in span.lo()..=span.hi() {
+            triplets.push((v, leaf, 1.0));
+        }
+    }
+    triplets
+}
+
+fn bench_closed_form(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hier_infer_closed_form");
+    for &height in &[11usize, 14, 17] {
+        let shape = TreeShape::new(2, height);
+        let noisy = noisy_tree(&shape, 7);
+        group.throughput(Throughput::Elements(shape.nodes() as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(shape.leaves()),
+            &noisy,
+            |b, noisy| {
+                b.iter(|| hierarchical_inference(black_box(&shape), black_box(noisy)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_sparse_cg(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hier_infer_sparse_cg");
+    group.sample_size(10);
+    for &height in &[7usize, 9] {
+        let shape = TreeShape::new(2, height);
+        let noisy = noisy_tree(&shape, 8);
+        let a =
+            CsrMatrix::from_triplets(shape.nodes(), shape.leaves(), aggregation_triplets(&shape));
+        let rhs = a.transpose_matvec(&noisy).expect("dimensions match");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(shape.leaves()),
+            &rhs,
+            |b, rhs| {
+                b.iter(|| {
+                    conjugate_gradient(a.gram_operator(), black_box(rhs), CgOptions::default())
+                        .expect("SPD system converges")
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_dense_ols(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hier_infer_dense_ols");
+    group.sample_size(10);
+    for &height in &[5usize, 7] {
+        let shape = TreeShape::new(2, height);
+        let noisy = noisy_tree(&shape, 9);
+        let a = Matrix::from_fn(shape.nodes(), shape.leaves(), |v, leaf| {
+            if shape.leaf_span(v).contains(leaf) {
+                1.0
+            } else {
+                0.0
+            }
+        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(shape.leaves()),
+            &noisy,
+            |b, noisy| {
+                b.iter(|| hc_linalg::lstsq(black_box(&a), black_box(noisy)).expect("full rank"));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_closed_form, bench_sparse_cg, bench_dense_ols);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Criterion bench: range-query answering — H̃ subtree decomposition vs
+//! consistent-tree prefix sums vs the flat release.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hc_core::{FlatUniversal, HierarchicalUniversal, Rounding};
+use hc_data::{Domain, Histogram, RangeWorkload};
+use hc_mech::Epsilon;
+use hc_noise::rng_from_seed;
+use std::hint::black_box;
+
+fn bench_range_queries(c: &mut Criterion) {
+    let n = 1 << 16;
+    let histogram = Histogram::from_counts(
+        Domain::new("x", n).expect("non-empty"),
+        (0..n).map(|i| (i % 5) as u64).collect(),
+    );
+    let eps = Epsilon::new(0.1).expect("valid ε");
+    let mut rng = rng_from_seed(11);
+    let flat = FlatUniversal::new(eps).release(&histogram, &mut rng);
+    let tree = HierarchicalUniversal::binary(eps).release(&histogram, &mut rng);
+    let consistent = tree.infer();
+    let rounded = tree.infer_rounded();
+
+    let workload = RangeWorkload::new(n, 4096);
+    let queries: Vec<_> = workload.sample_many(&mut rng, 1000);
+
+    let mut group = c.benchmark_group("range_query_4096_of_65536");
+    group.throughput(Throughput::Elements(queries.len() as u64));
+
+    group.bench_function("flat_prefix_sum", |b| {
+        b.iter(|| {
+            queries
+                .iter()
+                .map(|&q| flat.range_query(black_box(q), Rounding::NonNegativeInteger))
+                .sum::<f64>()
+        });
+    });
+
+    group.bench_function("subtree_decomposition", |b| {
+        b.iter(|| {
+            queries
+                .iter()
+                .map(|&q| tree.range_query_subtree(black_box(q), Rounding::None))
+                .sum::<f64>()
+        });
+    });
+
+    group.bench_function("consistent_prefix_sum", |b| {
+        b.iter(|| {
+            queries
+                .iter()
+                .map(|&q| consistent.range_query(black_box(q)))
+                .sum::<f64>()
+        });
+    });
+
+    group.bench_function("rounded_decomposition", |b| {
+        b.iter(|| {
+            queries
+                .iter()
+                .map(|&q| rounded.range_query(black_box(q)))
+                .sum::<f64>()
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_range_queries);
+criterion_main!(benches);

@@ -1,0 +1,6 @@
+//! Regenerates the `ablation_branching` artifact. Run with `--quick` for a smoke pass.
+
+fn main() {
+    let cfg = hc_bench::RunConfig::from_env();
+    print!("{}", hc_bench::experiments::ablation_branching::run(cfg));
+}

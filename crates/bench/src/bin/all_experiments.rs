@@ -1,0 +1,36 @@
+//! Runs every experiment in sequence — the full reproduction in one command.
+//!
+//! `cargo run --release -p hc-bench --bin all_experiments` (add `--quick`
+//! for a minutes-long smoke pass of every artifact).
+
+use hc_bench::experiments as exp;
+use hc_bench::RunConfig;
+
+type Experiment = fn(RunConfig) -> String;
+
+fn main() {
+    let cfg = RunConfig::from_env();
+    let sections: &[(&str, Experiment)] = &[
+        ("fig2", exp::fig2::run),
+        ("fig3", exp::fig3::run),
+        ("fig5", exp::fig5::run),
+        ("fig6", exp::fig6::run),
+        ("fig7", exp::fig7::run),
+        ("thm2_scaling", exp::thm2_scaling::run),
+        ("thm4_factor", exp::thm4_factor::run),
+        ("appendix_e", exp::appendix_e::run),
+        ("ablation_branching", exp::ablation_branching::run),
+        ("ablation_budget", exp::ablation_budget::run),
+        ("ablation_wavelet", exp::ablation_wavelet::run),
+        ("ablation_matrix", exp::ablation_matrix::run),
+        ("ablation_nonneg", exp::ablation_nonneg::run),
+        ("ablation_geometric", exp::ablation_geometric::run),
+        ("ablation_quadtree", exp::ablation_quadtree::run),
+    ];
+    for (name, run) in sections {
+        println!("########## {name} ##########");
+        let started = std::time::Instant::now();
+        print!("{}", run(cfg));
+        println!("[{name} finished in {:.1?}]\n", started.elapsed());
+    }
+}

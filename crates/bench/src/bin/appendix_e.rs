@@ -1,0 +1,6 @@
+//! Regenerates the `appendix_e` artifact. Run with `--quick` for a smoke pass.
+
+fn main() {
+    let cfg = hc_bench::RunConfig::from_env();
+    print!("{}", hc_bench::experiments::appendix_e::run(cfg));
+}

@@ -1,0 +1,6 @@
+//! Regenerates the `fig6` artifact. Run with `--quick` for a smoke pass.
+
+fn main() {
+    let cfg = hc_bench::RunConfig::from_env();
+    print!("{}", hc_bench::experiments::fig6::run(cfg));
+}

@@ -1,0 +1,6 @@
+//! Regenerates the `thm2_scaling` artifact. Run with `--quick` for a smoke pass.
+
+fn main() {
+    let cfg = hc_bench::RunConfig::from_env();
+    print!("{}", hc_bench::experiments::thm2_scaling::run(cfg));
+}

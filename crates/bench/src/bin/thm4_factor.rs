@@ -1,0 +1,6 @@
+//! Regenerates the `thm4_factor` artifact. Run with `--quick` for a smoke pass.
+
+fn main() {
+    let cfg = hc_bench::RunConfig::from_env();
+    print!("{}", hc_bench::experiments::thm4_factor::run(cfg));
+}

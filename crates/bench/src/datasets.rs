@@ -1,0 +1,114 @@
+//! Paper-scale and quick-scale dataset construction for the experiments.
+
+use hc_data::generators::{
+    NetTrace, NetTraceConfig, SearchLogs, SearchLogsConfig, SocialNetwork, SocialNetworkConfig,
+};
+use hc_data::Histogram;
+use hc_noise::SeedStream;
+
+/// Which evaluation dataset an experiment uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DatasetId {
+    /// Gateway trace: per-external-host connection counts (≈65K hosts).
+    NetTrace,
+    /// Friendship-graph degree histogram (≈11K vertices).
+    SocialNetwork,
+    /// Top-keyword rank-frequency table (20K keywords) — Fig. 5's Search
+    /// Logs input.
+    SearchLogsKeywords,
+    /// The "Obama" time series (2¹⁵ bins) — Fig. 6's Search Logs input.
+    SearchLogsSeries,
+}
+
+impl DatasetId {
+    /// Display name matching the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DatasetId::NetTrace => "NetTrace",
+            DatasetId::SocialNetwork => "Social Network",
+            DatasetId::SearchLogsKeywords => "Search Logs",
+            DatasetId::SearchLogsSeries => "Search Logs",
+        }
+    }
+}
+
+/// Builds a dataset's histogram. `quick` shrinks every dimension so smoke
+/// tests finish in milliseconds while preserving each dataset's shape
+/// (sparsity, tail, duplication structure).
+///
+/// Dataset synthesis is deterministic in `seeds` and *independent of the
+/// mechanism trials*: experiments derive data from `seeds.substream(0)` and
+/// noise from `seeds.substream(1)` onward.
+pub fn build(id: DatasetId, quick: bool, seeds: SeedStream) -> Histogram {
+    let mut rng = seeds.substream(0).rng(match id {
+        DatasetId::NetTrace => 1,
+        DatasetId::SocialNetwork => 2,
+        DatasetId::SearchLogsKeywords => 3,
+        DatasetId::SearchLogsSeries => 4,
+    });
+    match id {
+        DatasetId::NetTrace => {
+            let config = if quick {
+                NetTraceConfig::small()
+            } else {
+                NetTraceConfig::default()
+            };
+            NetTrace::generate(config, &mut rng).histogram()
+        }
+        DatasetId::SocialNetwork => {
+            let config = if quick {
+                SocialNetworkConfig::small()
+            } else {
+                SocialNetworkConfig::default()
+            };
+            SocialNetwork::generate(config, &mut rng).degree_histogram()
+        }
+        DatasetId::SearchLogsKeywords => {
+            let (top_k, volume) = if quick { (512, 20_000) } else { (20_000, 2_000_000) };
+            SearchLogs::keyword_frequencies(&mut rng, top_k, volume)
+        }
+        DatasetId::SearchLogsSeries => {
+            let config = if quick {
+                SearchLogsConfig::small()
+            } else {
+                SearchLogsConfig::default()
+            };
+            SearchLogs::generate(config, &mut rng).histogram().clone()
+        }
+    }
+}
+
+/// The ε grid of Sec. 5.
+pub fn epsilon_grid() -> [f64; 3] {
+    [1.0, 0.1, 0.01]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_datasets_have_expected_sizes() {
+        let seeds = SeedStream::new(7);
+        assert_eq!(build(DatasetId::NetTrace, true, seeds).len(), 512);
+        assert_eq!(build(DatasetId::SocialNetwork, true, seeds).len(), 400);
+        assert_eq!(build(DatasetId::SearchLogsKeywords, true, seeds).len(), 512);
+        assert_eq!(build(DatasetId::SearchLogsSeries, true, seeds).len(), 512);
+    }
+
+    #[test]
+    fn datasets_are_deterministic_in_the_seed() {
+        let seeds = SeedStream::new(8);
+        let a = build(DatasetId::NetTrace, true, seeds);
+        let b = build(DatasetId::NetTrace, true, seeds);
+        assert_eq!(a, b);
+        let c = build(DatasetId::NetTrace, true, SeedStream::new(9));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn names_match_paper_labels() {
+        assert_eq!(DatasetId::NetTrace.name(), "NetTrace");
+        assert_eq!(DatasetId::SearchLogsSeries.name(), "Search Logs");
+    }
+}

@@ -1,0 +1,114 @@
+//! Ablation (Appendix B): the geometric mechanism as the noise source for
+//! the unattributed task — alternative noise, same inference.
+
+use hc_core::{sum_squared_error, UnattributedHistogram};
+use hc_ext::discrete::GeometricUnattributed;
+use hc_mech::Epsilon;
+use hc_noise::SeedStream;
+
+use crate::datasets::{build, DatasetId};
+use crate::stats::mean;
+use crate::table::{sci, Table};
+use crate::RunConfig;
+
+/// Measured errors for one ε.
+#[derive(Debug, Clone, Copy)]
+pub struct GeometricPoint {
+    /// Privacy parameter.
+    pub epsilon: f64,
+    /// Laplace baseline `S̃`.
+    pub laplace_baseline: f64,
+    /// Laplace + inference `S̄`.
+    pub laplace_inferred: f64,
+    /// Geometric baseline.
+    pub geometric_baseline: f64,
+    /// Geometric + inference.
+    pub geometric_inferred: f64,
+}
+
+/// Measures on the Social Network degree sequence.
+pub fn compute(cfg: RunConfig) -> Vec<GeometricPoint> {
+    let seeds = SeedStream::new(cfg.seed);
+    let histogram = build(DatasetId::SocialNetwork, cfg.quick, seeds);
+    let truth: Vec<f64> = histogram
+        .sorted_counts()
+        .into_iter()
+        .map(|c| c as f64)
+        .collect();
+
+    [1.0, 0.1]
+        .into_iter()
+        .enumerate()
+        .map(|(idx, eps_value)| {
+            let eps = Epsilon::new(eps_value).expect("valid ε");
+            let laplace = UnattributedHistogram::new(eps);
+            let geometric = GeometricUnattributed::new(eps);
+            let outcomes = crate::runner::run_trials(
+                cfg.trials,
+                seeds.substream(idx as u64),
+                |_t, mut rng| {
+                    let l = laplace.release(&histogram, &mut rng);
+                    let g = geometric.release(&histogram, &mut rng);
+                    (
+                        sum_squared_error(l.baseline(), &truth),
+                        sum_squared_error(&l.inferred(), &truth),
+                        sum_squared_error(g.baseline(), &truth),
+                        sum_squared_error(&g.inferred(), &truth),
+                    )
+                },
+            );
+            GeometricPoint {
+                epsilon: eps_value,
+                laplace_baseline: mean(&outcomes.iter().map(|o| o.0).collect::<Vec<_>>()),
+                laplace_inferred: mean(&outcomes.iter().map(|o| o.1).collect::<Vec<_>>()),
+                geometric_baseline: mean(&outcomes.iter().map(|o| o.2).collect::<Vec<_>>()),
+                geometric_inferred: mean(&outcomes.iter().map(|o| o.3).collect::<Vec<_>>()),
+            }
+        })
+        .collect()
+}
+
+/// Renders the geometric-mechanism ablation.
+pub fn run(cfg: RunConfig) -> String {
+    let points = compute(cfg);
+    let mut t = Table::new(
+        "Ablation: Laplace vs geometric mechanism, unattributed Social Network degrees",
+        &["ε", "Lap S~", "Lap S̄", "Geo S~", "Geo S̄"],
+    );
+    for p in &points {
+        t.row(vec![
+            format!("{}", p.epsilon),
+            sci(p.laplace_baseline),
+            sci(p.laplace_inferred),
+            sci(p.geometric_baseline),
+            sci(p.geometric_inferred),
+        ]);
+    }
+    let mut out = t.render();
+    out.push_str(
+        "\nClaims (Appendix B): the geometric mechanism's integer noise has slightly lower \
+         variance at equal ε (2e^(−ε)/(1−e^(−ε))² < 2/ε²), and constrained inference stacks on \
+         top of either noise distribution — the gains are orthogonal.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometric_baseline_at_most_laplace_and_inference_always_helps() {
+        for p in compute(RunConfig::quick()) {
+            assert!(
+                p.geometric_baseline < p.laplace_baseline * 1.1,
+                "ε={}: geo {} vs lap {}",
+                p.epsilon,
+                p.geometric_baseline,
+                p.laplace_baseline
+            );
+            assert!(p.laplace_inferred < p.laplace_baseline);
+            assert!(p.geometric_inferred < p.geometric_baseline);
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Ablation (related work, Li et al.): exact expected errors of the
+//! strategies as matrices — no sampling, pure linear algebra.
+
+use hc_ext::matrix_mech::{
+    expected_error_via_gram, strategy_hierarchical, strategy_identity, strategy_wavelet,
+    workload_all_ranges_gram,
+};
+
+use crate::table::{sci, Table};
+use crate::RunConfig;
+
+/// Analytic per-query average errors for one domain size.
+#[derive(Debug, Clone, Copy)]
+pub struct MatrixPoint {
+    /// Domain size.
+    pub n: usize,
+    /// Identity strategy (`L`).
+    pub identity: f64,
+    /// Binary hierarchy (`H₂`).
+    pub hier2: f64,
+    /// Quaternary hierarchy (`H₄`).
+    pub hier4: f64,
+    /// Haar wavelet.
+    pub wavelet: f64,
+}
+
+/// Computes the analytic table over a grid of domain sizes.
+pub fn compute(cfg: RunConfig) -> Vec<MatrixPoint> {
+    let ns: &[usize] = if cfg.quick {
+        &[16, 64, 256]
+    } else {
+        &[16, 64, 256, 1024]
+    };
+    let eps = 1.0;
+    ns.iter()
+        .map(|&n| {
+            let wg = workload_all_ranges_gram(n);
+            let queries = (n * (n + 1) / 2) as f64;
+            let per_query = |total: f64| total / queries;
+            MatrixPoint {
+                n,
+                identity: per_query(
+                    expected_error_via_gram(&wg, &strategy_identity(n), eps)
+                        .expect("full rank"),
+                ),
+                hier2: per_query(
+                    expected_error_via_gram(&wg, &strategy_hierarchical(n, 2), eps)
+                        .expect("full rank"),
+                ),
+                hier4: per_query(
+                    expected_error_via_gram(&wg, &strategy_hierarchical(n, 4), eps)
+                        .expect("full rank"),
+                ),
+                wavelet: per_query(
+                    expected_error_via_gram(&wg, &strategy_wavelet(n), eps).expect("full rank"),
+                ),
+            }
+        })
+        .collect()
+}
+
+/// Renders the matrix-mechanism ablation.
+pub fn run(cfg: RunConfig) -> String {
+    let points = compute(cfg);
+    let mut t = Table::new(
+        "Ablation: exact per-range-query error of strategies (all-ranges workload, ε = 1.0)",
+        &["n", "identity (L)", "H2 + OLS", "H4 + OLS", "wavelet + OLS"],
+    );
+    for p in &points {
+        t.row(vec![
+            format!("{}", p.n),
+            sci(p.identity),
+            sci(p.hier2),
+            sci(p.hier4),
+            sci(p.wavelet),
+        ]);
+    }
+    let crossover = points.iter().find(|p| p.hier2 < p.identity).map(|p| p.n);
+    let mut out = t.render();
+    out.push_str(&format!(
+        "\nClaims: identity wins tiny domains (sensitivity 1); the tree strategies take over as \
+         n grows (measured crossover at n = {crossover:?}); the wavelet strategy matches the \
+         binary hierarchy to within a small constant (the Li et al. equivalence — our \
+         unnormalized Haar rows are mutually orthogonal, buying it a modest constant-factor \
+         edge over H2 under the same sensitivity).\n"
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wavelet_matches_binary_hierarchy_up_to_small_constant() {
+        // Li et al.'s equivalence is up to constants; with unnormalized Haar
+        // rows (orthogonal) the wavelet sits slightly below H2 but must stay
+        // within a narrow band of it at every n.
+        for p in compute(RunConfig::quick()) {
+            let r = p.wavelet / p.hier2;
+            assert!(
+                (0.5..=1.2).contains(&r),
+                "n = {}: wavelet {} vs H2 {} (ratio {r})",
+                p.n,
+                p.wavelet,
+                p.hier2
+            );
+        }
+    }
+
+    #[test]
+    fn identity_advantage_erodes_with_n() {
+        let points = compute(RunConfig::quick());
+        let ratios: Vec<f64> = points.iter().map(|p| p.hier2 / p.identity).collect();
+        assert!(
+            ratios.windows(2).all(|w| w[1] < w[0]),
+            "H2/I not shrinking: {ratios:?}"
+        );
+    }
+}

@@ -1,0 +1,124 @@
+//! Ablation (Secs. 4.2 & 5.2): the non-negativity subtree-zeroing step.
+//! On sparse data it is the reason `H̄` can beat `L̃` even at unit ranges.
+
+use hc_core::{FlatUniversal, HierarchicalUniversal, Rounding};
+use hc_data::RangeWorkload;
+use hc_mech::Epsilon;
+use hc_noise::SeedStream;
+
+use crate::datasets::{build, DatasetId};
+use crate::stats::mean;
+use crate::table::{sci, Table};
+use crate::RunConfig;
+
+/// Measured error per range size for the ablated estimators.
+#[derive(Debug, Clone, Copy)]
+pub struct NonNegPoint {
+    /// Range size.
+    pub size: usize,
+    /// `L̃` with rounding (the flat baseline).
+    pub flat: f64,
+    /// `H̄` without the non-negativity step (pure Theorem 3).
+    pub inferred_raw: f64,
+    /// `H̄` with subtree zeroing + rounding (the Sec. 5.2 protocol).
+    pub inferred_nonneg: f64,
+}
+
+/// Measures on sparse NetTrace at ε = 0.1 over small-to-medium ranges.
+pub fn compute(cfg: RunConfig) -> Vec<NonNegPoint> {
+    let seeds = SeedStream::new(cfg.seed);
+    let histogram = build(DatasetId::NetTrace, cfg.quick, seeds);
+    let n = histogram.len();
+    let eps = Epsilon::new(0.1).expect("valid ε");
+    let flat_pipeline = FlatUniversal::new(eps);
+    let tree_pipeline = HierarchicalUniversal::binary(eps);
+    let sizes: Vec<usize> = [1usize, 4, 16, 64, 256]
+        .into_iter()
+        .filter(|&s| s <= n)
+        .collect();
+    let queries = if cfg.quick { 100 } else { 1000 };
+
+    let per_trial = crate::runner::run_trials(cfg.trials, seeds.substream(1), |_t, mut rng| {
+        let flat = flat_pipeline.release(&histogram, &mut rng);
+        let tree = tree_pipeline.release(&histogram, &mut rng);
+        let raw = tree.infer();
+        let nonneg = tree.infer_rounded();
+        sizes
+            .iter()
+            .map(|&size| {
+                let workload = RangeWorkload::new(n, size);
+                let (mut fe, mut re, mut ne) = (0.0, 0.0, 0.0);
+                for _ in 0..queries {
+                    let q = workload.sample(&mut rng);
+                    let truth = histogram.range_count(q) as f64;
+                    fe += (flat.range_query(q, Rounding::NonNegativeInteger) - truth).powi(2);
+                    re += (raw.range_query(q) - truth).powi(2);
+                    ne += (nonneg.range_query(q) - truth).powi(2);
+                }
+                let scale = queries as f64;
+                (fe / scale, re / scale, ne / scale)
+            })
+            .collect::<Vec<(f64, f64, f64)>>()
+    });
+
+    sizes
+        .iter()
+        .enumerate()
+        .map(|(idx, &size)| {
+            let f: Vec<f64> = per_trial.iter().map(|t| t[idx].0).collect();
+            let r: Vec<f64> = per_trial.iter().map(|t| t[idx].1).collect();
+            let nn: Vec<f64> = per_trial.iter().map(|t| t[idx].2).collect();
+            NonNegPoint {
+                size,
+                flat: mean(&f),
+                inferred_raw: mean(&r),
+                inferred_nonneg: mean(&nn),
+            }
+        })
+        .collect()
+}
+
+/// Renders the non-negativity ablation.
+pub fn run(cfg: RunConfig) -> String {
+    let points = compute(cfg);
+    let mut t = Table::new(
+        "Ablation: Sec. 4.2 non-negativity step on sparse NetTrace (ε = 0.1)",
+        &["range size", "L~ (rounded)", "H̄ raw", "H̄ + nonneg", "raw/nonneg"],
+    );
+    for p in &points {
+        t.row(vec![
+            format!("{}", p.size),
+            sci(p.flat),
+            sci(p.inferred_raw),
+            sci(p.inferred_nonneg),
+            format!("{:.1}", p.inferred_raw / p.inferred_nonneg.max(1e-12)),
+        ]);
+    }
+    let small = points.first().expect("non-empty");
+    let mut out = t.render();
+    out.push_str(&format!(
+        "\nClaims: on sparse domains the subtree-zeroing step slashes small-range error \
+         (unit ranges: {:.1}x) because upper tree levels *observe* emptiness that leaf noise \
+         hides; with it, H̄ challenges or beats L~ even at the smallest ranges (Sec. 5.2's \
+         closing observation).\n",
+        small.inferred_raw / small.inferred_nonneg.max(1e-12)
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nonneg_step_helps_small_ranges_on_sparse_data() {
+        let points = compute(RunConfig::quick());
+        let unit = points.iter().find(|p| p.size == 1).unwrap();
+        assert!(
+            unit.inferred_nonneg < unit.inferred_raw,
+            "nonneg {} vs raw {}",
+            unit.inferred_nonneg,
+            unit.inferred_raw
+        );
+    }
+}

@@ -1,0 +1,152 @@
+//! Appendix E: `H̃` vs the Blum et al. equi-depth histogram as the database
+//! grows — `H̃`'s absolute error is independent of `N`, the equi-depth
+//! approach's grows like `N^(2/3)`.
+
+use hc_core::{HierarchicalUniversal, Rounding};
+use hc_data::{Domain, Histogram, Interval, RangeWorkload};
+use hc_ext::blum::BlumEquiDepth;
+use hc_mech::Epsilon;
+use hc_noise::SeedStream;
+use rand::Rng;
+
+use crate::stats::mean;
+use crate::table::{sci, Table};
+use crate::RunConfig;
+
+/// A skewed histogram over a fixed domain whose total mass is `scale` times
+/// a base pattern — scaling `N` without changing the domain, as the
+/// appendix's comparison requires.
+fn skewed_histogram(n: usize, scale: u64) -> Histogram {
+    let counts: Vec<u64> = (0..n)
+        .map(|i| {
+            // Heavy mass on a few spikes, light elsewhere: uniformity within
+            // equi-depth buckets is maximally violated.
+            if i % 32 == 7 {
+                40 * scale
+            } else if i % 8 == 3 {
+                4 * scale
+            } else {
+                0
+            }
+        })
+        .collect();
+    Histogram::from_counts(Domain::new("x", n).expect("non-empty"), counts)
+}
+
+/// One measured point of the N-sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct AppendixEPoint {
+    /// Number of records.
+    pub records: u64,
+    /// Mean absolute range-query error of `H̃`.
+    pub hier: f64,
+    /// Mean absolute range-query error of the equi-depth baseline.
+    pub blum: f64,
+}
+
+/// Measures the sweep.
+pub fn compute(cfg: RunConfig) -> Vec<AppendixEPoint> {
+    let n = if cfg.quick { 256 } else { 1024 };
+    let eps = Epsilon::new(1.0).expect("valid ε");
+    let seeds = SeedStream::new(cfg.seed);
+    let scales: &[u64] = if cfg.quick {
+        &[1, 8, 64]
+    } else {
+        &[1, 8, 64, 512]
+    };
+    let queries = if cfg.quick { 40 } else { 200 };
+    let trials = cfg.trials.max(10);
+
+    let mut out = Vec::new();
+    for (idx, &scale) in scales.iter().enumerate() {
+        let histogram = skewed_histogram(n, scale);
+        let records = histogram.total();
+        let hier_pipeline = HierarchicalUniversal::binary(eps);
+        let blum_pipeline = BlumEquiDepth::new(eps);
+
+        let outcomes =
+            crate::runner::run_trials(trials, seeds.substream(idx as u64), |_t, mut rng| {
+                let hier = hier_pipeline.release(&histogram, &mut rng);
+                let blum = blum_pipeline.release(&histogram, &mut rng);
+                let size = n / 8;
+                let workload = RangeWorkload::new(n, size);
+                let (mut he, mut be) = (0.0, 0.0);
+                for _ in 0..queries {
+                    let q: Interval = workload.sample(&mut rng);
+                    let truth = histogram.range_count(q) as f64;
+                    he += (hier.range_query_subtree(q, Rounding::None) - truth).abs();
+                    be += (blum.range_query(q) - truth).abs();
+                }
+                (he / queries as f64, be / queries as f64)
+            });
+        let hier: Vec<f64> = outcomes.iter().map(|o| o.0).collect();
+        let blum: Vec<f64> = outcomes.iter().map(|o| o.1).collect();
+        out.push(AppendixEPoint {
+            records,
+            hier: mean(&hier),
+            blum: mean(&blum),
+        });
+    }
+    out
+}
+
+/// Renders the Appendix E report.
+pub fn run(cfg: RunConfig) -> String {
+    let points = compute(cfg);
+    let first = points.first().expect("non-empty sweep");
+    let mut t = Table::new(
+        "Appendix E: absolute range-query error vs database size N (fixed domain, ε = 1.0)",
+        &["N", "H~", "BLR equi-depth", "N^(2/3) reference"],
+    );
+    for p in &points {
+        let reference = first.blum
+            * (hc_core::theory::blum_error_scaling(p.records)
+                / hc_core::theory::blum_error_scaling(first.records));
+        t.row(vec![
+            format!("{}", p.records),
+            sci(p.hier),
+            sci(p.blum),
+            sci(reference),
+        ]);
+    }
+    let last = points.last().expect("non-empty sweep");
+    let mut out = t.render();
+    out.push_str(&format!(
+        "\nClaims: H~'s error is independent of N (measured drift {:.1}x across a {}x size range); \
+         the equi-depth baseline's error grows with N at roughly the N^(2/3) rate ({:.0}x measured).\n",
+        last.hier / first.hier.max(1e-9),
+        last.records / first.records.max(1),
+        last.blum / first.blum.max(1e-9),
+    ));
+    out
+}
+
+/// Exposes the random generator type used by closures above (documentation
+/// helper so the module's public API is self-contained).
+pub fn _rng_marker<R: Rng + ?Sized>(_: &mut R) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hier_error_flat_while_blum_grows() {
+        let points = compute(RunConfig::quick());
+        let first = points.first().unwrap();
+        let last = points.last().unwrap();
+        // H~ should not grow materially with N.
+        assert!(
+            last.hier < first.hier * 3.0,
+            "H~ grew: {} → {}",
+            first.hier,
+            last.hier
+        );
+        // BLR must grow substantially (64x more records here).
+        assert!(
+            last.blum > first.blum * 5.0,
+            "BLR flat: {} → {}",
+            first.blum,
+            last.blum
+        );
+    }
+}

@@ -1,0 +1,107 @@
+//! Fig. 3: the illustrative sorted sequence — how `s̄` tracks the truth
+//! where counts are uniform and falls back to `s̃` at unique counts.
+
+use hc_core::{per_position_squared_error, SortedRelease};
+use hc_mech::{Epsilon, LaplaceMechanism, QuerySequence, SortedQuery};
+use hc_noise::SeedStream;
+
+use crate::stats::mean;
+use crate::table::Table;
+use crate::RunConfig;
+
+/// The figure's sequence: 20 uniform counts followed by 5 strictly
+/// increasing ones (read off the plot: a flat stretch at 10, then a ramp).
+pub fn figure_sequence() -> Vec<u64> {
+    let mut s = vec![10u64; 20];
+    s.extend([12, 14, 16, 18, 20]);
+    s
+}
+
+/// Reproduces Fig. 3 (one sampled trial, ε = 1.0) and quantifies its message
+/// over `cfg.trials` repetitions: inference wipes out error on the uniform
+/// run but cannot improve isolated counts.
+pub fn run(cfg: RunConfig) -> String {
+    let truth_u64 = figure_sequence();
+    let histogram = hc_data::Histogram::from_counts(
+        hc_data::Domain::new("index", truth_u64.len()).expect("non-empty"),
+        truth_u64,
+    );
+    let truth = SortedQuery.evaluate(&histogram);
+    let eps = Epsilon::new(1.0).expect("valid ε");
+    let seeds = SeedStream::new(cfg.seed);
+
+    // One illustrative trial (the figure itself).
+    let mut rng = seeds.rng(0);
+    let mech = LaplaceMechanism::new(eps);
+    let noisy = mech.release(&SortedQuery, &histogram, &mut rng);
+    let release = SortedRelease::from_noisy(eps, noisy.values().to_vec());
+    let inferred = release.inferred();
+
+    let mut t = Table::new(
+        "Fig. 3: S(I), one sample s~, inferred s̄ (ε = 1.0)",
+        &["index", "S(I)", "s~", "s̄"],
+    );
+    for i in 0..truth.len() {
+        t.row(vec![
+            format!("{}", i + 1),
+            format!("{:.0}", truth[i]),
+            format!("{:.2}", release.baseline()[i]),
+            format!("{:.2}", inferred[i]),
+        ]);
+    }
+
+    // Aggregate the figure's qualitative claim over many trials.
+    let results = crate::runner::run_trials(cfg.trials.max(20), seeds.substream(1), |_t, mut rng| {
+        let noisy = mech.release(&SortedQuery, &histogram, &mut rng);
+        let rel = SortedRelease::from_noisy(eps, noisy.values().to_vec());
+        let inf = rel.inferred();
+        let base_profile = per_position_squared_error(rel.baseline(), &truth);
+        let inf_profile = per_position_squared_error(&inf, &truth);
+        (base_profile, inf_profile)
+    });
+    let n = truth.len();
+    let mut base_uniform = Vec::new();
+    let mut inf_uniform = Vec::new();
+    let mut base_distinct = Vec::new();
+    let mut inf_distinct = Vec::new();
+    for (b, f) in &results {
+        base_uniform.push(mean(&b[..20]));
+        inf_uniform.push(mean(&f[..20]));
+        base_distinct.push(mean(&b[20..n]));
+        inf_distinct.push(mean(&f[20..n]));
+    }
+
+    let mut out = t.render();
+    out.push_str(&format!(
+        "\nPer-position error, averaged over {} trials:\n\
+         uniform run [1,20]:  s~ {:.3}  s̄ {:.3}  (reduction {:.1}x)\n\
+         distinct tail [21,25]: s~ {:.3}  s̄ {:.3}  (reduction {:.1}x)\n\
+         Claim (Sec. 3.2): inference averages noise away inside uniform runs; \
+         at unique counts s̄[k] stays near s~[k].\n",
+        results.len(),
+        mean(&base_uniform),
+        mean(&inf_uniform),
+        mean(&base_uniform) / mean(&inf_uniform).max(1e-12),
+        mean(&base_distinct),
+        mean(&inf_distinct),
+        mean(&base_distinct) / mean(&inf_distinct).max(1e-12),
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_run_error_drops_much_more_than_distinct_tail() {
+        let out = run(RunConfig::quick());
+        assert!(out.contains("uniform run"));
+        // The rendered table has one row per index (cells may be padded).
+        let data_rows = out
+            .lines()
+            .filter(|l| l.trim_start().starts_with(char::is_numeric))
+            .count();
+        assert!(data_rows >= 25, "only {data_rows} data rows:\n{out}");
+    }
+}

@@ -1,0 +1,141 @@
+//! Fig. 5: unattributed-histogram error across datasets and ε for the three
+//! estimators `S̃` (baseline), `S̃r` (sort + round), `S̄` (constrained
+//! inference).
+
+use hc_core::{sum_squared_error, UnattributedHistogram};
+use hc_mech::Epsilon;
+use hc_noise::SeedStream;
+
+use crate::datasets::{build, epsilon_grid, DatasetId};
+use crate::stats::Summary;
+use crate::table::{sci, Table};
+use crate::RunConfig;
+
+/// Per-configuration outcome used by tests.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig5Row {
+    /// Dataset evaluated.
+    pub dataset: &'static str,
+    /// Privacy parameter.
+    pub epsilon: f64,
+    /// Mean squared error of the baseline `S̃`.
+    pub baseline: f64,
+    /// Mean squared error of sort-and-round `S̃r`.
+    pub sort_round: f64,
+    /// Mean squared error of constrained inference `S̄`.
+    pub inferred: f64,
+}
+
+/// Computes the Fig. 5 grid.
+pub fn compute(cfg: RunConfig) -> Vec<Fig5Row> {
+    let seeds = SeedStream::new(cfg.seed);
+    let datasets = [
+        DatasetId::SocialNetwork,
+        DatasetId::NetTrace,
+        DatasetId::SearchLogsKeywords,
+    ];
+    let mut rows = Vec::new();
+    for (d_idx, &dataset) in datasets.iter().enumerate() {
+        let histogram = build(dataset, cfg.quick, seeds);
+        let truth: Vec<f64> = histogram
+            .sorted_counts()
+            .into_iter()
+            .map(|c| c as f64)
+            .collect();
+        for (e_idx, &eps_value) in epsilon_grid().iter().enumerate() {
+            let eps = Epsilon::new(eps_value).expect("valid ε");
+            let task = UnattributedHistogram::new(eps);
+            let trial_seeds = seeds.substream(100 + (d_idx * 10 + e_idx) as u64);
+            let outcomes =
+                crate::runner::run_trials(cfg.trials, trial_seeds, |_t, mut rng| {
+                    let release = task.release(&histogram, &mut rng);
+                    let baseline = sum_squared_error(release.baseline(), &truth);
+                    let sort_round = sum_squared_error(&release.sorted_rounded(), &truth);
+                    let inferred = sum_squared_error(&release.inferred(), &truth);
+                    (baseline, sort_round, inferred)
+                });
+            let baselines: Vec<f64> = outcomes.iter().map(|o| o.0).collect();
+            let sort_rounds: Vec<f64> = outcomes.iter().map(|o| o.1).collect();
+            let inferreds: Vec<f64> = outcomes.iter().map(|o| o.2).collect();
+            rows.push(Fig5Row {
+                dataset: dataset.name(),
+                epsilon: eps_value,
+                baseline: Summary::of(&baselines).mean,
+                sort_round: Summary::of(&sort_rounds).mean,
+                inferred: Summary::of(&inferreds).mean,
+            });
+        }
+    }
+    rows
+}
+
+/// Renders the Fig. 5 report.
+pub fn run(cfg: RunConfig) -> String {
+    let rows = compute(cfg);
+    let mut t = Table::new(
+        format!(
+            "Fig. 5: unattributed histograms — avg squared error over {} trials",
+            cfg.trials
+        ),
+        &["Dataset", "ε", "S~", "S~r", "S̄", "S~/S̄"],
+    );
+    for r in &rows {
+        t.row(vec![
+            r.dataset.to_string(),
+            format!("{}", r.epsilon),
+            sci(r.baseline),
+            sci(r.sort_round),
+            sci(r.inferred),
+            format!("{:.1}", r.baseline / r.inferred.max(1e-12)),
+        ]);
+    }
+    let mut out = t.render();
+    let min_gain = rows
+        .iter()
+        .map(|r| r.baseline / r.inferred.max(1e-12))
+        .fold(f64::INFINITY, f64::min);
+    out.push_str(&format!(
+        "\nClaim (Sec. 5.1): S̄ reduces error by at least an order of magnitude \
+         across all datasets and ε; relative accuracy improves as ε shrinks.\n\
+         Minimum S~/S̄ gain observed: {min_gain:.1}x\n"
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inference_dominates_both_baselines_everywhere() {
+        let rows = compute(RunConfig::quick());
+        assert_eq!(rows.len(), 9);
+        for r in &rows {
+            assert!(
+                r.inferred < r.baseline,
+                "{} ε={}: S̄ {} vs S~ {}",
+                r.dataset,
+                r.epsilon,
+                r.inferred,
+                r.baseline
+            );
+            assert!(
+                r.inferred <= r.sort_round * 1.05,
+                "{} ε={}: S̄ {} vs S~r {}",
+                r.dataset,
+                r.epsilon,
+                r.inferred,
+                r.sort_round
+            );
+        }
+    }
+
+    #[test]
+    fn error_grows_as_epsilon_shrinks() {
+        let rows = compute(RunConfig::quick());
+        for chunk in rows.chunks(3) {
+            assert!(chunk[0].baseline < chunk[1].baseline);
+            assert!(chunk[1].baseline < chunk[2].baseline);
+        }
+    }
+}

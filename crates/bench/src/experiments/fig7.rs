@@ -1,0 +1,160 @@
+//! Fig. 7: where the error lives — per-position error of `S̄` vs `S̃` along
+//! the NetTrace unattributed histogram, averaged over many trials.
+
+use hc_core::{per_position_squared_error, theory, UnattributedHistogram};
+use hc_mech::Epsilon;
+use hc_noise::SeedStream;
+
+use crate::datasets::{build, DatasetId};
+use crate::stats::mean;
+use crate::table::Table;
+use crate::RunConfig;
+
+/// Per-position mean error profiles.
+#[derive(Debug, Clone)]
+pub struct Fig7Profile {
+    /// The true sorted sequence.
+    pub truth: Vec<f64>,
+    /// Mean per-position squared error of `S̃`.
+    pub baseline: Vec<f64>,
+    /// Mean per-position squared error of `S̄`.
+    pub inferred: Vec<f64>,
+}
+
+/// Computes the Fig. 7 profile (the paper uses 200 trials at ε = 1.0).
+pub fn compute(cfg: RunConfig) -> Fig7Profile {
+    let trials = if cfg.quick { cfg.trials.max(20) } else { cfg.trials.max(200) };
+    let seeds = SeedStream::new(cfg.seed);
+    let histogram = build(DatasetId::NetTrace, cfg.quick, seeds);
+    let truth: Vec<f64> = histogram
+        .sorted_counts()
+        .into_iter()
+        .map(|c| c as f64)
+        .collect();
+    let eps = Epsilon::new(1.0).expect("valid ε");
+    let task = UnattributedHistogram::new(eps);
+
+    let profiles = crate::runner::run_trials(trials, seeds.substream(1), |_t, mut rng| {
+        let release = task.release(&histogram, &mut rng);
+        let base = per_position_squared_error(release.baseline(), &truth);
+        let inf = per_position_squared_error(&release.inferred(), &truth);
+        (base, inf)
+    });
+
+    let n = truth.len();
+    let mut baseline = vec![0.0; n];
+    let mut inferred = vec![0.0; n];
+    for (b, i) in &profiles {
+        for k in 0..n {
+            baseline[k] += b[k];
+            inferred[k] += i[k];
+        }
+    }
+    for k in 0..n {
+        baseline[k] /= profiles.len() as f64;
+        inferred[k] /= profiles.len() as f64;
+    }
+    Fig7Profile {
+        truth,
+        baseline,
+        inferred,
+    }
+}
+
+/// Splits positions into run-interior vs run-boundary (a position is a
+/// boundary if the true count changes within `margin` positions of it).
+fn boundary_mask(truth: &[f64], margin: usize) -> Vec<bool> {
+    let n = truth.len();
+    let mut mask = vec![false; n];
+    for k in 0..n {
+        let lo = k.saturating_sub(margin);
+        let hi = (k + margin).min(n - 1);
+        if truth[lo..=hi].iter().any(|&v| v != truth[k]) {
+            mask[k] = true;
+        }
+    }
+    mask
+}
+
+/// Renders the Fig. 7 report: error concentrated at count-change points,
+/// near-zero in the interior of uniform runs.
+pub fn run(cfg: RunConfig) -> String {
+    let profile = compute(cfg);
+    let mask = boundary_mask(&profile.truth, 2);
+
+    let (mut interior_base, mut interior_inf) = (Vec::new(), Vec::new());
+    let (mut boundary_base, mut boundary_inf) = (Vec::new(), Vec::new());
+    for (k, &on_boundary) in mask.iter().enumerate() {
+        if on_boundary {
+            boundary_base.push(profile.baseline[k]);
+            boundary_inf.push(profile.inferred[k]);
+        } else {
+            interior_base.push(profile.baseline[k]);
+            interior_inf.push(profile.inferred[k]);
+        }
+    }
+
+    let mut t = Table::new(
+        "Fig. 7: NetTrace per-position error (ε = 1.0)",
+        &["segment", "positions", "S~ error", "S̄ error", "S~/S̄"],
+    );
+    t.row(vec![
+        "uniform-run interior".into(),
+        format!("{}", interior_base.len()),
+        format!("{:.4}", mean(&interior_base)),
+        format!("{:.4}", mean(&interior_inf)),
+        format!("{:.1}", mean(&interior_base) / mean(&interior_inf).max(1e-9)),
+    ]);
+    t.row(vec![
+        "count-change boundary".into(),
+        format!("{}", boundary_base.len()),
+        format!("{:.4}", mean(&boundary_base)),
+        format!("{:.4}", mean(&boundary_inf)),
+        format!("{:.1}", mean(&boundary_base) / mean(&boundary_inf).max(1e-9)),
+    ]);
+
+    let d = theory::run_lengths(&profile.truth).len();
+    let mut out = t.render();
+    out.push_str(&format!(
+        "\nTrue sequence: n = {}, d = {} distinct counts (d ≪ n is the Theorem 2 regime).\n\
+         Claim (Appendix C): inference eliminates noise in the middle of uniform runs — \
+         exactly where changing one tuple cannot change a count — and leaves residual \
+         error only near the points where the count changes.\n",
+        profile.truth.len(),
+        d
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interior_error_is_far_below_baseline() {
+        let profile = compute(RunConfig::quick());
+        let mask = boundary_mask(&profile.truth, 2);
+        let interior_inf: Vec<f64> = (0..profile.truth.len())
+            .filter(|&k| !mask[k])
+            .map(|k| profile.inferred[k])
+            .collect();
+        let interior_base: Vec<f64> = (0..profile.truth.len())
+            .filter(|&k| !mask[k])
+            .map(|k| profile.baseline[k])
+            .collect();
+        assert!(
+            mean(&interior_inf) * 5.0 < mean(&interior_base),
+            "interior: inferred {} vs baseline {}",
+            mean(&interior_inf),
+            mean(&interior_base)
+        );
+    }
+
+    #[test]
+    fn baseline_error_is_flat_at_laplace_variance() {
+        let profile = compute(RunConfig::quick());
+        // error(S~[k]) = Var(Lap(1/ε)) = 2 for ε = 1 at every position.
+        let m = mean(&profile.baseline);
+        assert!((m - 2.0).abs() < 0.4, "baseline mean {m}");
+    }
+}

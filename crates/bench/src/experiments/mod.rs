@@ -1,0 +1,19 @@
+//! One module per paper artifact. Every `run` function returns the rendered
+//! report so integration tests can execute experiments in quick mode and
+//! assert on the claims.
+
+pub mod ablation_branching;
+pub mod ablation_budget;
+pub mod ablation_geometric;
+pub mod ablation_matrix;
+pub mod ablation_nonneg;
+pub mod ablation_quadtree;
+pub mod ablation_wavelet;
+pub mod appendix_e;
+pub mod fig2;
+pub mod fig3;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod thm2_scaling;
+pub mod thm4_factor;

@@ -1,0 +1,135 @@
+//! Theorem 4(iv): the query where `H̄` beats `H̃` by
+//! `(2(ℓ−1)(k−1) − k)/3` — a factor of 9.33 in the paper's height-16
+//! binary tree.
+
+use hc_core::{theory, HierarchicalUniversal, Rounding};
+use hc_data::{Domain, Histogram};
+use hc_mech::{Epsilon, TreeShape};
+use hc_noise::SeedStream;
+
+use crate::stats::mean;
+use crate::table::{ratio, sci, Table};
+use crate::RunConfig;
+
+/// Measured vs predicted errors for the worst-case query.
+#[derive(Debug, Clone, Copy)]
+pub struct Thm4Outcome {
+    /// Tree height ℓ.
+    pub height: usize,
+    /// Measured `error(H̃_q)`.
+    pub subtree: f64,
+    /// Measured `error(H̄_q)`.
+    pub inferred: f64,
+    /// Predicted `error(H̃_q)` = `(2(k−1)(ℓ−1)−k)·2ℓ²/ε²`.
+    pub subtree_predicted: f64,
+    /// Predicted upper bound on `error(H̄_q)` = `3·2ℓ²/ε²`.
+    pub inferred_bound: f64,
+    /// The theoretical advantage factor.
+    pub predicted_factor: f64,
+}
+
+/// Runs the measurement at a given tree height.
+pub fn compute_at_height(cfg: RunConfig, height: usize) -> Thm4Outcome {
+    let shape = TreeShape::new(2, height);
+    let n = shape.leaves();
+    // Any histogram works (estimators are unbiased); a flat small count keeps
+    // the rounding-free estimators honest.
+    let histogram = Histogram::from_counts(Domain::new("x", n).expect("non-empty"), vec![1; n]);
+    let q = theory::thm4_query(&shape);
+    let truth = histogram.range_count(q) as f64;
+    let eps_value = 1.0;
+    let eps = Epsilon::new(eps_value).expect("valid ε");
+    let pipeline = HierarchicalUniversal::binary(eps);
+
+    let seeds = SeedStream::new(cfg.seed);
+    let trials = cfg.trials.max(if cfg.quick { 30 } else { 200 });
+    let outcomes = crate::runner::run_trials(trials, seeds, |_t, mut rng| {
+        let release = pipeline.release(&histogram, &mut rng);
+        // No rounding: Theorem 4 is about the linear estimators themselves.
+        let subtree = release.range_query_subtree(q, Rounding::None);
+        let inferred = release.infer().range_query(q);
+        (
+            (subtree - truth) * (subtree - truth),
+            (inferred - truth) * (inferred - truth),
+        )
+    });
+    let subtree: Vec<f64> = outcomes.iter().map(|o| o.0).collect();
+    let inferred: Vec<f64> = outcomes.iter().map(|o| o.1).collect();
+
+    Thm4Outcome {
+        height,
+        subtree: mean(&subtree),
+        inferred: mean(&inferred),
+        subtree_predicted: theory::thm4_htilde_error(&shape, eps_value),
+        inferred_bound: theory::thm4_hbar_upper(&shape, eps_value),
+        predicted_factor: theory::thm4_gap_factor(&shape),
+    }
+}
+
+/// Renders the Theorem 4(iv) report (heights 8 and 16; quick mode uses 8
+/// and 10 to keep the trial count manageable).
+pub fn run(cfg: RunConfig) -> String {
+    let heights: &[usize] = if cfg.quick { &[8, 10] } else { &[8, 16] };
+    let mut t = Table::new(
+        "Theorem 4(iv): worst-case query q = [1, n−2] on a binary tree (ε = 1.0)",
+        &[
+            "ℓ",
+            "H~ measured",
+            "H~ predicted",
+            "H̄ measured",
+            "H̄ bound",
+            "measured factor",
+            "predicted factor",
+        ],
+    );
+    let mut claims = String::new();
+    for &height in heights {
+        let o = compute_at_height(cfg, height);
+        t.row(vec![
+            format!("{height}"),
+            sci(o.subtree),
+            sci(o.subtree_predicted),
+            sci(o.inferred),
+            sci(o.inferred_bound),
+            ratio(o.subtree / o.inferred.max(1e-12)),
+            ratio(o.predicted_factor),
+        ]);
+        claims.push_str(&format!(
+            "ℓ={height}: measured H~/H̄ = {:.2} vs predicted ≥ {:.2}\n",
+            o.subtree / o.inferred.max(1e-12),
+            o.predicted_factor
+        ));
+    }
+    let mut out = t.render();
+    out.push_str(&format!(
+        "\nPaper: \"in a height 16 binary tree … H̄_q is more accurate than H~_q by a factor of {} = 9.33\".\n{}",
+        "2(ℓ−1)(k−1)−k over 3", claims
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measured_errors_match_theory_at_small_height() {
+        let o = compute_at_height(RunConfig::quick(), 8);
+        // H~ error is an exact expectation: (2(ℓ−1)−2)·2ℓ² = 12·128 = 1536.
+        assert!(
+            (o.subtree - o.subtree_predicted).abs() / o.subtree_predicted < 0.35,
+            "H~ measured {} vs predicted {}",
+            o.subtree,
+            o.subtree_predicted
+        );
+        // H̄ must beat its proof bound (it is the OLS optimum).
+        assert!(o.inferred <= o.inferred_bound * 1.35);
+        // And the measured advantage should be in the ballpark of theory.
+        let measured = o.subtree / o.inferred;
+        assert!(
+            measured > 0.5 * o.predicted_factor,
+            "measured {measured} vs predicted {}",
+            o.predicted_factor
+        );
+    }
+}

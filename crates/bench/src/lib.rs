@@ -1,0 +1,24 @@
+//! Experiment harness reproducing every table and figure of the paper.
+//!
+//! Each experiment is a library function under [`experiments`] taking a
+//! [`RunConfig`]; the binaries in `src/bin/` are thin wrappers so the same
+//! code drives full paper-scale runs, `--quick` smoke runs, and the
+//! integration tests. Results are printed as aligned tables (the same
+//! rows/series the paper reports) and the claims being checked are stated
+//! inline.
+//!
+//! Reproduction protocol (Sec. 5): error is average *squared* error over 50
+//! mechanism samples; `ε ∈ {1.0, 0.1, 0.01}`; universal-histogram queries
+//! sweep sizes `2^i` with 1000 uniformly-located ranges per size.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cli;
+pub mod datasets;
+pub mod experiments;
+pub mod runner;
+pub mod stats;
+pub mod table;
+
+pub use cli::RunConfig;

@@ -1,0 +1,87 @@
+//! Parallel trial execution with deterministic per-trial seeding.
+
+use hc_noise::SeedStream;
+use rand::rngs::StdRng;
+
+/// Runs `trials` independent repetitions of `body`, each with its own RNG
+/// derived from `seeds`, spread across available cores with crossbeam's
+/// scoped threads. Results are returned in trial order regardless of
+/// scheduling, so parallel and serial runs are bit-identical.
+pub fn run_trials<T, F>(trials: usize, seeds: SeedStream, body: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, StdRng) -> T + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(trials.max(1));
+
+    if threads <= 1 || trials <= 1 {
+        return (0..trials)
+            .map(|t| body(t, seeds.rng(t as u64)))
+            .collect();
+    }
+
+    // Work-stealing on an atomic counter; each worker collects its own
+    // (trial index, result) pairs and the pairs are merged in trial order.
+    let counter = std::sync::atomic::AtomicUsize::new(0);
+    let body = &body;
+    let counter = &counter;
+
+    let mut tagged: Vec<(usize, T)> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(move |_| {
+                    let mut local = Vec::new();
+                    loop {
+                        let t = counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if t >= trials {
+                            break;
+                        }
+                        local.push((t, body(t, seeds.rng(t as u64))));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("trial workers do not panic"))
+            .collect()
+    })
+    .expect("crossbeam scope itself does not fail");
+
+    tagged.sort_by_key(|(t, _)| *t);
+    tagged.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn results_are_in_trial_order() {
+        let seeds = SeedStream::new(1);
+        let out = run_trials(64, seeds, |t, _rng| t * 2);
+        assert_eq!(out, (0..64).map(|t| t * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let seeds = SeedStream::new(2);
+        let parallel = run_trials(32, seeds, |_t, mut rng| rng.random::<f64>());
+        let serial: Vec<f64> = (0..32)
+            .map(|t| seeds.rng(t as u64).random::<f64>())
+            .collect();
+        assert_eq!(parallel, serial);
+    }
+
+    #[test]
+    fn zero_and_one_trials() {
+        let seeds = SeedStream::new(3);
+        assert!(run_trials(0, seeds, |t, _| t).is_empty());
+        assert_eq!(run_trials(1, seeds, |t, _| t + 10), vec![10]);
+    }
+}

@@ -1,0 +1,80 @@
+//! Summary statistics over trial outcomes.
+
+/// Mean of a sample (0 for empty input).
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Unbiased (n−1) sample standard deviation.
+pub fn std_dev(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    let var = values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / (values.len() - 1) as f64;
+    var.sqrt()
+}
+
+/// Mean with its standard error — what the experiment tables report.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Sample mean.
+    pub mean: f64,
+    /// Standard error of the mean.
+    pub std_err: f64,
+    /// Number of samples.
+    pub n: usize,
+}
+
+impl Summary {
+    /// Summarizes a sample.
+    pub fn of(values: &[f64]) -> Self {
+        let n = values.len();
+        Self {
+            mean: mean(values),
+            std_err: if n > 1 {
+                std_dev(values) / (n as f64).sqrt()
+            } else {
+                0.0
+            },
+            n,
+        }
+    }
+}
+
+impl core::fmt::Display for Summary {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{:.4e} ± {:.1e}", self.mean, self.std_err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std_dev_of_known_sample() {
+        let v = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&v) - 5.0).abs() < 1e-12);
+        // Sample std dev with n−1 = sqrt(32/7).
+        assert!((std_dev(&v) - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(std_dev(&[]), 0.0);
+        assert_eq!(std_dev(&[3.0]), 0.0);
+    }
+
+    #[test]
+    fn summary_std_err_shrinks_with_n() {
+        let a = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        let many: Vec<f64> = (0..100).map(|i| 1.0 + (i % 4) as f64).collect();
+        let b = Summary::of(&many);
+        assert!(b.std_err < a.std_err);
+    }
+}

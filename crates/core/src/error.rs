@@ -1,0 +1,81 @@
+//! Error metrics (Definition 2.3 and the experimental protocol of Sec. 5).
+
+/// The squared L2 distance `‖est − truth‖₂²` — one trial's contribution to
+/// the paper's `error(Q̃) = Σᵢ E(Q̃[i] − Q[i])²` (the expectation is taken by
+/// averaging this over trials).
+pub fn sum_squared_error(estimate: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(
+        estimate.len(),
+        truth.len(),
+        "estimate and truth must align"
+    );
+    estimate
+        .iter()
+        .zip(truth)
+        .map(|(e, t)| (e - t) * (e - t))
+        .sum()
+}
+
+/// Per-position squared errors — the profile plotted in Fig. 7.
+pub fn per_position_squared_error(estimate: &[f64], truth: &[f64]) -> Vec<f64> {
+    assert_eq!(
+        estimate.len(),
+        truth.len(),
+        "estimate and truth must align"
+    );
+    estimate
+        .iter()
+        .zip(truth)
+        .map(|(e, t)| (e - t) * (e - t))
+        .collect()
+}
+
+/// Mean absolute error, used for the (ε, δ)-usefulness comparison of
+/// Appendix E (Blum et al. bound absolute error).
+pub fn mean_absolute_error(estimate: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(
+        estimate.len(),
+        truth.len(),
+        "estimate and truth must align"
+    );
+    if estimate.is_empty() {
+        return 0.0;
+    }
+    estimate
+        .iter()
+        .zip(truth)
+        .map(|(e, t)| (e - t).abs())
+        .sum::<f64>()
+        / estimate.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_squared_error_basic() {
+        assert_eq!(sum_squared_error(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+        assert_eq!(sum_squared_error(&[3.0, 0.0], &[1.0, 2.0]), 8.0);
+    }
+
+    #[test]
+    fn per_position_profile() {
+        assert_eq!(
+            per_position_squared_error(&[1.0, 5.0, 2.0], &[0.0, 5.0, 4.0]),
+            vec![1.0, 0.0, 4.0]
+        );
+    }
+
+    #[test]
+    fn mean_absolute_error_basic() {
+        assert_eq!(mean_absolute_error(&[2.0, -2.0], &[0.0, 0.0]), 2.0);
+        assert_eq!(mean_absolute_error(&[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "align")]
+    fn mismatched_lengths_panic() {
+        let _ = sum_squared_error(&[1.0], &[1.0, 2.0]);
+    }
+}

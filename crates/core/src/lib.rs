@@ -1,0 +1,56 @@
+//! Constrained inference for differentially private histograms — the core of
+//! the reproduction of Hay, Rastogi, Miklau & Suciu, *"Boosting the Accuracy
+//! of Differentially Private Histograms Through Consistency"* (VLDB 2010).
+//!
+//! The paper's pipeline has three steps (Fig. 1):
+//!
+//! 1. the analyst picks a query sequence with known constraints
+//!    (`hc-mech`: [`hc_mech::SortedQuery`] with ordering constraints, or
+//!    [`hc_mech::HierarchicalQuery`] with parent-sum constraints);
+//! 2. the data owner releases noisy answers through the Laplace mechanism
+//!    (`hc-mech`: [`hc_mech::LaplaceMechanism`]);
+//! 3. the analyst (or owner) post-processes the noisy answers to the
+//!    *closest consistent* answer vector — the minimum-L2 projection onto
+//!    the constraint set. **That third step is this crate.**
+//!
+//! The two inference engines:
+//!
+//! * [`isotonic::isotonic_regression`] — Theorem 1's projection onto ordered
+//!   sequences, in linear time (PAVA), with the paper's min-max formula as an
+//!   executable reference specification.
+//! * [`hier::hierarchical_inference`] — Theorem 3's two-pass closed form for
+//!   the tree-consistency projection, plus the Sec. 4.2 non-negativity
+//!   heuristic.
+//!
+//! End-to-end estimators wrap the pipeline for the paper's two tasks:
+//!
+//! * [`unattributed::UnattributedHistogram`] — release `S̃`, then derive the
+//!   three estimators compared in Fig. 5 (`S̃`, `S̃r`, `S̄`).
+//! * [`universal::FlatUniversal`] / [`universal::HierarchicalUniversal`] —
+//!   the `L̃`, `H̃`, and `H̄` strategies compared in Fig. 6, with range-query
+//!   engines.
+//!
+//! [`theory`] holds the paper's closed-form error predictions, so experiments
+//! can print measured-vs-predicted columns.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod budgeted;
+pub mod error;
+pub mod hier;
+pub mod isotonic;
+pub mod theory;
+pub mod unattributed;
+pub mod universal;
+pub mod weighted;
+
+pub use budgeted::{BudgetSplit, BudgetedHierarchical, BudgetedTreeRelease};
+pub use error::{mean_absolute_error, per_position_squared_error, sum_squared_error};
+pub use hier::{enforce_nonnegativity, hierarchical_inference, ConsistentTree};
+pub use isotonic::{isotonic_regression, isotonic_regression_weighted, minmax_reference};
+pub use unattributed::{SortedRelease, UnattributedHistogram};
+pub use weighted::{level_budget_variances, weighted_hierarchical_inference};
+pub use universal::{
+    FlatRelease, FlatUniversal, HierarchicalUniversal, Rounding, RoundedTree, TreeRelease,
+};

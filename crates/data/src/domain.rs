@@ -1,0 +1,181 @@
+//! Ordered domains and intervals over them.
+
+use crate::DataError;
+
+/// An ordered, finite domain for the histogram's range attribute.
+///
+/// Domain elements are identified by their index `0..size`; the paper's
+/// `dom = ⟨x₁ … xₙ⟩` maps to indices `0..n`. A human-readable name is kept
+/// for reporting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Domain {
+    name: String,
+    size: usize,
+}
+
+impl Domain {
+    /// Creates a domain with `size` ordered elements.
+    pub fn new(name: impl Into<String>, size: usize) -> Result<Self, DataError> {
+        if size == 0 {
+            return Err(DataError::EmptyDomain);
+        }
+        Ok(Self {
+            name: name.into(),
+            size,
+        })
+    }
+
+    /// The domain's label (e.g. `"src"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// The full interval `[0, size-1]`.
+    pub fn full_interval(&self) -> Interval {
+        Interval { lo: 0, hi: self.size - 1 }
+    }
+
+    /// Validates and builds an interval `[lo, hi]` (inclusive).
+    pub fn interval(&self, lo: usize, hi: usize) -> Result<Interval, DataError> {
+        if lo > hi || hi >= self.size {
+            return Err(DataError::InvalidInterval {
+                lo,
+                hi,
+                domain: self.size,
+            });
+        }
+        Ok(Interval { lo, hi })
+    }
+
+    /// The unit interval `[x, x]`.
+    pub fn unit(&self, x: usize) -> Result<Interval, DataError> {
+        self.interval(x, x)
+    }
+}
+
+/// A closed interval `[lo, hi]` of domain indices — the paper's `c([x, y])`
+/// predicate range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Interval {
+    lo: usize,
+    hi: usize,
+}
+
+impl Interval {
+    /// Creates an interval without domain validation (bounds must satisfy
+    /// `lo <= hi`). Prefer [`Domain::interval`] where a domain is at hand.
+    pub fn new(lo: usize, hi: usize) -> Self {
+        assert!(lo <= hi, "interval bounds reversed: [{lo}, {hi}]");
+        Self { lo, hi }
+    }
+
+    /// Inclusive lower bound.
+    #[inline]
+    pub fn lo(&self) -> usize {
+        self.lo
+    }
+
+    /// Inclusive upper bound.
+    #[inline]
+    pub fn hi(&self) -> usize {
+        self.hi
+    }
+
+    /// Number of domain elements covered.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.hi - self.lo + 1
+    }
+
+    /// Intervals are never empty; provided for clippy-idiomatic pairing with
+    /// [`Interval::len`].
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Whether `x` lies inside.
+    #[inline]
+    pub fn contains(&self, x: usize) -> bool {
+        self.lo <= x && x <= self.hi
+    }
+
+    /// Whether `other` is fully inside `self`.
+    pub fn covers(&self, other: &Interval) -> bool {
+        self.lo <= other.lo && other.hi <= self.hi
+    }
+
+    /// Intersection, if non-empty.
+    pub fn intersect(&self, other: &Interval) -> Option<Interval> {
+        let lo = self.lo.max(other.lo);
+        let hi = self.hi.min(other.hi);
+        (lo <= hi).then_some(Interval { lo, hi })
+    }
+}
+
+impl core::fmt::Display for Interval {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "[{}, {}]", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_empty_domain() {
+        assert_eq!(Domain::new("x", 0), Err(DataError::EmptyDomain));
+    }
+
+    #[test]
+    fn interval_validation() {
+        let d = Domain::new("src", 4).unwrap();
+        assert!(d.interval(0, 3).is_ok());
+        assert!(d.interval(2, 1).is_err());
+        assert!(d.interval(0, 4).is_err());
+        assert_eq!(d.full_interval(), Interval::new(0, 3));
+    }
+
+    #[test]
+    fn interval_len_and_contains() {
+        let i = Interval::new(2, 5);
+        assert_eq!(i.len(), 4);
+        assert!(i.contains(2) && i.contains(5));
+        assert!(!i.contains(1) && !i.contains(6));
+        assert!(!i.is_empty());
+    }
+
+    #[test]
+    fn unit_interval() {
+        let d = Domain::new("x", 10).unwrap();
+        let u = d.unit(7).unwrap();
+        assert_eq!((u.lo(), u.hi(), u.len()), (7, 7, 1));
+    }
+
+    #[test]
+    fn covers_and_intersect() {
+        let outer = Interval::new(0, 7);
+        let inner = Interval::new(2, 5);
+        assert!(outer.covers(&inner));
+        assert!(!inner.covers(&outer));
+        assert_eq!(inner.intersect(&outer), Some(inner));
+        assert_eq!(
+            Interval::new(0, 3).intersect(&Interval::new(2, 6)),
+            Some(Interval::new(2, 3))
+        );
+        assert_eq!(Interval::new(0, 1).intersect(&Interval::new(3, 4)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "reversed")]
+    fn reversed_bounds_panic() {
+        let _ = Interval::new(3, 2);
+    }
+}

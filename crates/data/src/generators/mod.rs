@@ -1,0 +1,17 @@
+//! Synthetic dataset generators standing in for the paper's private data.
+//!
+//! Each generator documents which published property of the original dataset
+//! it reproduces and why that property is the one the experiments depend on
+//! (see `DESIGN.md` §3). All generators are deterministic given an RNG and
+//! expose a `small()` configuration for fast tests alongside the
+//! paper-scale default.
+
+mod nettrace;
+mod powerlaw;
+mod searchlogs;
+mod socialnet;
+
+pub use nettrace::{NetTrace, NetTraceConfig};
+pub use powerlaw::zipf_histogram;
+pub use searchlogs::{SearchLogs, SearchLogsConfig};
+pub use socialnet::{SocialNetwork, SocialNetworkConfig};

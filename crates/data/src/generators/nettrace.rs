@@ -1,0 +1,194 @@
+//! Synthetic NetTrace: a bipartite gateway connection trace.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::{Domain, Histogram, Relation};
+use hc_noise::Zipf;
+
+/// Configuration for the synthetic NetTrace generator.
+///
+/// The original dataset is an IP-level trace at a university gateway with
+/// ≈65K external hosts; the histogram counts, per external host, the number
+/// of internal hosts it connected to. The published properties the
+/// experiments rely on are: (a) strong sparsity (most external hosts touch
+/// nothing), (b) a heavy Zipf tail among active hosts so a few counts are
+/// huge while most are 1 or 2, giving an unattributed histogram with long
+/// uniform runs (`d ≪ n`, the Theorem 2 regime), and (c) *clustered*
+/// activity — external IPs concentrate in subnet blocks, leaving long empty
+/// stretches of the keyspace. (c) is what the Sec. 4.2 non-negativity
+/// heuristic exploits: empty *dyadic regions* let high tree levels observe
+/// emptiness, so the zeroing cascades.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetTraceConfig {
+    /// Domain size: number of external hosts (2¹⁶ at paper scale).
+    pub hosts: usize,
+    /// Fraction of hosts with at least one connection.
+    pub active_fraction: f64,
+    /// Number of contiguous "subnet" blocks the active hosts occupy.
+    pub subnet_blocks: usize,
+    /// Total connection records to distribute among active hosts.
+    pub connections: usize,
+    /// Zipf exponent over the active hosts.
+    pub exponent: f64,
+}
+
+impl Default for NetTraceConfig {
+    fn default() -> Self {
+        Self {
+            hosts: 1 << 16,
+            active_fraction: 0.3,
+            subnet_blocks: 48,
+            connections: 300_000,
+            exponent: 1.3,
+        }
+    }
+}
+
+impl NetTraceConfig {
+    /// A reduced-size configuration for fast tests (same shape, 2⁹ hosts).
+    pub fn small() -> Self {
+        Self {
+            hosts: 1 << 9,
+            active_fraction: 0.3,
+            subnet_blocks: 5,
+            connections: 2_000,
+            exponent: 1.3,
+        }
+    }
+}
+
+/// The synthetic NetTrace dataset.
+#[derive(Debug, Clone)]
+pub struct NetTrace {
+    relation: Relation,
+}
+
+impl NetTrace {
+    /// Generates a trace with the given configuration.
+    pub fn generate<R: Rng + ?Sized>(config: NetTraceConfig, rng: &mut R) -> Self {
+        assert!(config.hosts > 0, "hosts must be positive");
+        assert!(
+            (0.0..=1.0).contains(&config.active_fraction),
+            "active_fraction must be a fraction"
+        );
+        assert!(config.subnet_blocks >= 1, "need at least one subnet block");
+        let active = ((config.hosts as f64 * config.active_fraction) as usize).max(1);
+
+        // Active hosts live in contiguous subnet blocks whose starts are
+        // drawn at random: real gateway traffic concentrates in a handful of
+        // address blocks, leaving long empty keyspace stretches.
+        let blocks = config.subnet_blocks.min(active);
+        let block_len = (active / blocks).max(1);
+        let mut active_ids: Vec<usize> = Vec::with_capacity(active);
+        let mut guard = 0usize;
+        while active_ids.len() < active && guard < 1000 {
+            let start = rng.random_range(0..config.hosts.saturating_sub(block_len).max(1));
+            let take = block_len.min(active - active_ids.len());
+            active_ids.extend(start..start + take);
+            guard += 1;
+        }
+        active_ids.sort_unstable();
+        active_ids.dedup();
+        // Overlapping blocks may shrink the active set slightly; that only
+        // deepens sparsity and is harmless to the evaluated properties.
+
+        // Zipf popularity ranks are assigned to random positions within the
+        // blocks (heavy hitters sit anywhere inside a subnet).
+        let mut ranked = active_ids.clone();
+        ranked.shuffle(rng);
+        let zipf = Zipf::new(ranked.len(), config.exponent).expect("validated parameters");
+        let mut records = Vec::with_capacity(config.connections);
+        for _ in 0..config.connections {
+            let rank = zipf.sample(rng);
+            records.push(ranked[rank - 1]);
+        }
+
+        let domain = Domain::new("external_host", config.hosts).expect("hosts > 0");
+        let relation = Relation::from_records(domain, records).expect("records in domain");
+        Self { relation }
+    }
+
+    /// Generates at paper scale with defaults.
+    pub fn generate_default<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        Self::generate(NetTraceConfig::default(), rng)
+    }
+
+    /// The underlying connection relation.
+    pub fn relation(&self) -> &Relation {
+        &self.relation
+    }
+
+    /// Per-host connection counts (the attributed histogram of Fig. 6's
+    /// NetTrace row).
+    pub fn histogram(&self) -> Histogram {
+        Histogram::from_relation(&self.relation)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hc_noise::rng_from_seed;
+
+    #[test]
+    fn conserves_connections() {
+        let mut rng = rng_from_seed(11);
+        let t = NetTrace::generate(NetTraceConfig::small(), &mut rng);
+        assert_eq!(t.histogram().total(), 2_000);
+        assert_eq!(t.relation().len(), 2_000);
+    }
+
+    #[test]
+    fn is_sparse() {
+        let mut rng = rng_from_seed(12);
+        let t = NetTrace::generate(NetTraceConfig::small(), &mut rng);
+        let sparsity = t.histogram().sparsity();
+        // At least the inactive fraction must be zero.
+        assert!(sparsity >= 0.65, "sparsity {sparsity}");
+    }
+
+    #[test]
+    fn unattributed_histogram_has_long_uniform_runs() {
+        let mut rng = rng_from_seed(13);
+        let t = NetTrace::generate(NetTraceConfig::small(), &mut rng);
+        let h = t.histogram();
+        let d = h.distinct_count_values();
+        // Theorem 2 regime: d must be far below n.
+        assert!(d * 10 < h.len(), "d = {d}, n = {}", h.len());
+    }
+
+    #[test]
+    fn heavy_hitter_exists() {
+        let mut rng = rng_from_seed(14);
+        let t = NetTrace::generate(NetTraceConfig::small(), &mut rng);
+        let max = *t.histogram().counts().iter().max().unwrap();
+        assert!(max > 100, "max count {max}");
+    }
+
+    #[test]
+    fn reproducible_for_fixed_seed() {
+        let a = NetTrace::generate(NetTraceConfig::small(), &mut rng_from_seed(15));
+        let b = NetTrace::generate(NetTraceConfig::small(), &mut rng_from_seed(15));
+        assert_eq!(a.histogram(), b.histogram());
+    }
+
+    #[test]
+    fn activity_is_clustered_leaving_large_empty_dyadic_regions() {
+        // The Sec. 4.2 heuristic needs empty aligned regions; check that a
+        // decent share of 32-leaf aligned blocks are completely empty.
+        let mut rng = rng_from_seed(16);
+        let t = NetTrace::generate(NetTraceConfig::small(), &mut rng);
+        let counts = t.histogram().counts().to_vec();
+        let empty_blocks = counts
+            .chunks(32)
+            .filter(|c| c.iter().all(|&x| x == 0))
+            .count();
+        let total_blocks = counts.len() / 32;
+        // ≥ 40%: the ~5 subnet blocks can each straddle two aligned chunks.
+        assert!(
+            empty_blocks * 5 >= total_blocks * 2,
+            "only {empty_blocks}/{total_blocks} empty 32-blocks"
+        );
+    }
+}

@@ -1,0 +1,65 @@
+//! Shared power-law count machinery.
+
+use hc_noise::Zipf;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Draws `records` items over `bins` bins where bin popularity follows a
+/// Zipf law with the given exponent, then shuffles bin positions.
+///
+/// The shuffle matters: rank-ordered Zipf counts would make the *attributed*
+/// histogram artificially smooth, while real traces scatter heavy hitters
+/// across the keyspace. The unattributed tasks are invariant to the shuffle.
+pub fn zipf_histogram<R: Rng + ?Sized>(
+    rng: &mut R,
+    bins: usize,
+    records: usize,
+    exponent: f64,
+) -> Vec<u64> {
+    let zipf = Zipf::new(bins, exponent).expect("validated generator parameters");
+    let mut counts = zipf.sample_histogram(rng, records);
+    counts.shuffle(rng);
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hc_noise::rng_from_seed;
+
+    #[test]
+    fn conserves_record_count() {
+        let mut rng = rng_from_seed(1);
+        let h = zipf_histogram(&mut rng, 256, 10_000, 1.2);
+        assert_eq!(h.len(), 256);
+        assert_eq!(h.iter().sum::<u64>(), 10_000);
+    }
+
+    #[test]
+    fn is_heavy_tailed() {
+        let mut rng = rng_from_seed(2);
+        let h = zipf_histogram(&mut rng, 1024, 50_000, 1.3);
+        let max = *h.iter().max().unwrap();
+        let median = {
+            let mut s = h.clone();
+            s.sort_unstable();
+            s[s.len() / 2]
+        };
+        assert!(max > 50 * median.max(1), "max {max} median {median}");
+    }
+
+    #[test]
+    fn positions_are_shuffled() {
+        let mut rng = rng_from_seed(3);
+        let h = zipf_histogram(&mut rng, 4096, 100_000, 1.5);
+        // If unshuffled, the max would sit at index 0 with overwhelming
+        // probability; after shuffling it is uniform.
+        let argmax = h
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &c)| c)
+            .map(|(i, _)| i)
+            .unwrap();
+        assert!(argmax != 0, "heavy hitter left at rank position");
+    }
+}

@@ -1,0 +1,208 @@
+//! Synthetic Search Logs: keyword-frequency time series and rank tables.
+
+use rand::Rng;
+
+use crate::{Domain, Histogram};
+use hc_noise::{Poisson, Zipf};
+
+/// Configuration for the synthetic search-log generator.
+///
+/// The original dataset covers Jan 1 2004 → "present" at 16 bins/day
+/// (≈2¹⁵ bins for the paper's timeframe). Two derived artifacts are used:
+///
+/// * Fig. 6 uses the *time series* for one term ("Obama"): near-zero base
+///   interest, daily/weekly periodicity, news bursts, and a huge election
+///   ramp — i.e. a sparse, bursty series with localized mass.
+/// * Fig. 5 uses the *rank-frequency vector* of the top 20K keywords over
+///   three months, which is Zipf by construction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SearchLogsConfig {
+    /// Number of time bins (2¹⁵ at paper scale: 16/day × ~5.6 years).
+    pub bins: usize,
+    /// Mean searches per bin in quiet periods.
+    pub base_rate: f64,
+    /// Number of random news bursts.
+    pub bursts: usize,
+    /// Peak mean rate during the election spike.
+    pub election_peak: f64,
+}
+
+impl Default for SearchLogsConfig {
+    fn default() -> Self {
+        Self {
+            bins: 1 << 15,
+            base_rate: 0.2,
+            bursts: 40,
+            election_peak: 400.0,
+        }
+    }
+}
+
+impl SearchLogsConfig {
+    /// A reduced-size configuration for fast tests.
+    pub fn small() -> Self {
+        Self {
+            bins: 1 << 9,
+            base_rate: 0.2,
+            bursts: 6,
+            election_peak: 120.0,
+        }
+    }
+}
+
+/// The synthetic search-log dataset.
+#[derive(Debug, Clone)]
+pub struct SearchLogs {
+    series: Histogram,
+}
+
+impl SearchLogs {
+    /// Generates the time series for the tracked term.
+    pub fn generate<R: Rng + ?Sized>(config: SearchLogsConfig, rng: &mut R) -> Self {
+        assert!(config.bins > 0, "bins must be positive");
+        let n = config.bins;
+        let mut intensity = vec![config.base_rate; n];
+
+        // Interest grows slowly over time (term becomes newsworthy).
+        for (i, lambda) in intensity.iter_mut().enumerate() {
+            let t = i as f64 / n as f64;
+            *lambda *= 1.0 + 3.0 * t * t;
+        }
+
+        // Daily periodicity: 16 bins/day, quiet nights. Weekly modulation.
+        for (i, lambda) in intensity.iter_mut().enumerate() {
+            let hour_of_day = (i % 16) as f64 / 16.0;
+            let day_factor = 0.4 + 0.6 * (std::f64::consts::PI * hour_of_day).sin().max(0.0);
+            let week_phase = ((i / 16) % 7) as f64;
+            let week_factor = if week_phase >= 5.0 { 0.7 } else { 1.0 };
+            *lambda *= day_factor * week_factor;
+        }
+
+        // News bursts: short exponential-decay spikes at random times. Widths
+        // scale with the series length (1–5 days at paper scale) so the small
+        // test configuration keeps the same quiet/bursty morphology.
+        let base_width = (n / 2048).max(2);
+        for _ in 0..config.bursts {
+            let center = rng.random_range(0..n);
+            let height = config.election_peak * 0.05 * (1.0 + rng.random::<f64>());
+            let width = base_width + rng.random_range(0..4 * base_width);
+            apply_decay_spike(&mut intensity, center, height, width);
+        }
+
+        // Election season: a broad ramp peaking ~85% through the series
+        // (Nov 2008 within Jan 2004 → mid 2009).
+        let center = (n as f64 * 0.85) as usize;
+        apply_decay_spike(&mut intensity, center, config.election_peak, n / 20 + 1);
+
+        let counts: Vec<u64> = intensity
+            .iter()
+            .map(|&lambda| {
+                // Intensity may be ~0 in quiet bins; Poisson::new rejects 0.
+                if lambda <= 1e-9 {
+                    0
+                } else {
+                    Poisson::new(lambda).expect("positive lambda").sample(rng)
+                }
+            })
+            .collect();
+
+        let domain = Domain::new("time_bin", n).expect("bins > 0");
+        Self {
+            series: Histogram::from_counts(domain, counts),
+        }
+    }
+
+    /// Generates at paper scale with defaults.
+    pub fn generate_default<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        Self::generate(SearchLogsConfig::default(), rng)
+    }
+
+    /// The time-series histogram (Fig. 6's Search Logs row).
+    pub fn histogram(&self) -> &Histogram {
+        &self.series
+    }
+
+    /// The rank-frequency table of the `top_k` keywords over a quarter —
+    /// Fig. 5's Search Logs input. Position `i` holds the number of searches
+    /// of the `i`-th ranked keyword.
+    pub fn keyword_frequencies<R: Rng + ?Sized>(
+        rng: &mut R,
+        top_k: usize,
+        total_searches: usize,
+    ) -> Histogram {
+        let zipf = Zipf::new(top_k, 1.05).expect("validated parameters");
+        let counts = zipf.sample_histogram(rng, total_searches);
+        // Rank order (descending) as published.
+        let mut counts = counts;
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        let domain = Domain::new("keyword_rank", top_k).expect("top_k > 0");
+        Histogram::from_counts(domain, counts)
+    }
+}
+
+/// Adds a two-sided exponential-decay spike to the intensity curve.
+fn apply_decay_spike(intensity: &mut [f64], center: usize, height: f64, width: usize) {
+    let n = intensity.len();
+    let w = width.max(1) as f64;
+    let lo = center.saturating_sub(8 * width);
+    let hi = (center + 8 * width).min(n - 1);
+    for (i, lambda) in intensity.iter_mut().enumerate().take(hi + 1).skip(lo) {
+        let dist = (i as f64 - center as f64).abs();
+        *lambda += height * (-dist / w).exp();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hc_noise::rng_from_seed;
+
+    #[test]
+    fn produces_requested_bins() {
+        let mut rng = rng_from_seed(41);
+        let s = SearchLogs::generate(SearchLogsConfig::small(), &mut rng);
+        assert_eq!(s.histogram().len(), 512);
+    }
+
+    #[test]
+    fn mass_is_localized_around_election() {
+        let mut rng = rng_from_seed(42);
+        let s = SearchLogs::generate(SearchLogsConfig::small(), &mut rng);
+        let counts = s.histogram().counts();
+        let n = counts.len();
+        let spike_zone: u64 = counts[(n * 3 / 4)..].iter().sum();
+        let early: u64 = counts[..(n / 4)].iter().sum();
+        assert!(
+            spike_zone > 5 * early.max(1),
+            "spike {spike_zone} early {early}"
+        );
+    }
+
+    #[test]
+    fn series_is_sparse_in_quiet_periods() {
+        let mut rng = rng_from_seed(43);
+        let s = SearchLogs::generate(SearchLogsConfig::small(), &mut rng);
+        let quiet_zeros = s.histogram().counts()[..128]
+            .iter()
+            .filter(|&&c| c == 0)
+            .count();
+        assert!(quiet_zeros > 50, "zeros in quiet period: {quiet_zeros}");
+    }
+
+    #[test]
+    fn keyword_table_is_rank_ordered_and_conserves_volume() {
+        let mut rng = rng_from_seed(44);
+        let h = SearchLogs::keyword_frequencies(&mut rng, 1000, 100_000);
+        assert_eq!(h.total(), 100_000);
+        let c = h.counts();
+        assert!(c.windows(2).all(|w| w[0] >= w[1]), "not rank-ordered");
+        assert!(c[0] > c[999] * 10);
+    }
+
+    #[test]
+    fn reproducible_for_fixed_seed() {
+        let a = SearchLogs::generate(SearchLogsConfig::small(), &mut rng_from_seed(45));
+        let b = SearchLogs::generate(SearchLogsConfig::small(), &mut rng_from_seed(45));
+        assert_eq!(a.histogram(), b.histogram());
+    }
+}

@@ -1,0 +1,137 @@
+//! A minimal undirected graph for degree-sequence extraction.
+
+/// An undirected simple graph with vertices `0..n`.
+///
+/// The Social Network dataset is a friendship graph whose *degree sequence*
+/// is the unattributed histogram under study; the generator materializes a
+/// real graph here (adjacency lists, no multi-edges) and then extracts
+/// degrees, so the pipeline matches the paper's "graph → degree sequence"
+/// derivation instead of fabricating degrees directly.
+#[derive(Debug, Clone)]
+pub struct Graph {
+    adjacency: Vec<Vec<usize>>,
+    edges: usize,
+}
+
+impl Graph {
+    /// An edgeless graph on `n` vertices.
+    pub fn new(n: usize) -> Self {
+        Self {
+            adjacency: vec![Vec::new(); n],
+            edges: 0,
+        }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn vertex_count(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edges
+    }
+
+    /// Whether the edge `{u, v}` exists.
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        // Scan the smaller adjacency list.
+        let (a, b) = if self.adjacency[u].len() <= self.adjacency[v].len() {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        self.adjacency[a].contains(&b)
+    }
+
+    /// Adds the undirected edge `{u, v}`. Self-loops and duplicate edges are
+    /// rejected (returns `false`).
+    pub fn add_edge(&mut self, u: usize, v: usize) -> bool {
+        assert!(u < self.vertex_count() && v < self.vertex_count(), "vertex out of range");
+        if u == v || self.has_edge(u, v) {
+            return false;
+        }
+        self.adjacency[u].push(v);
+        self.adjacency[v].push(u);
+        self.edges += 1;
+        true
+    }
+
+    /// The degree of vertex `v`.
+    #[inline]
+    pub fn degree(&self, v: usize) -> usize {
+        self.adjacency[v].len()
+    }
+
+    /// Neighbours of `v`.
+    pub fn neighbors(&self, v: usize) -> &[usize] {
+        &self.adjacency[v]
+    }
+
+    /// All vertex degrees, in vertex order (an *attributed* histogram).
+    pub fn degrees(&self) -> Vec<u64> {
+        self.adjacency.iter().map(|a| a.len() as u64).collect()
+    }
+
+    /// The degree sequence in ascending order (the *unattributed* histogram,
+    /// i.e. the true answer to the paper's sorted query `S`).
+    pub fn degree_sequence(&self) -> Vec<u64> {
+        let mut d = self.degrees();
+        d.sort_unstable();
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle_plus_pendant() -> Graph {
+        // 0-1, 1-2, 2-0 triangle, 3 attached to 0.
+        let mut g = Graph::new(4);
+        assert!(g.add_edge(0, 1));
+        assert!(g.add_edge(1, 2));
+        assert!(g.add_edge(2, 0));
+        assert!(g.add_edge(0, 3));
+        g
+    }
+
+    #[test]
+    fn edge_bookkeeping() {
+        let g = triangle_plus_pendant();
+        assert_eq!(g.vertex_count(), 4);
+        assert_eq!(g.edge_count(), 4);
+        assert!(g.has_edge(0, 1) && g.has_edge(1, 0));
+        assert!(!g.has_edge(1, 3));
+    }
+
+    #[test]
+    fn rejects_self_loops_and_duplicates() {
+        let mut g = triangle_plus_pendant();
+        assert!(!g.add_edge(1, 1));
+        assert!(!g.add_edge(0, 1));
+        assert_eq!(g.edge_count(), 4);
+    }
+
+    #[test]
+    fn degrees_and_sequence() {
+        let g = triangle_plus_pendant();
+        assert_eq!(g.degrees(), vec![3, 2, 2, 1]);
+        assert_eq!(g.degree_sequence(), vec![1, 2, 2, 3]);
+    }
+
+    #[test]
+    fn handshake_lemma_holds() {
+        let g = triangle_plus_pendant();
+        let degree_sum: u64 = g.degrees().iter().sum();
+        assert_eq!(degree_sum, 2 * g.edge_count() as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "vertex out of range")]
+    fn out_of_range_vertex_panics() {
+        let mut g = Graph::new(2);
+        g.add_edge(0, 2);
+    }
+}

@@ -1,0 +1,223 @@
+//! Plain-text import/export so real datasets can be dropped in.
+//!
+//! The synthetic generators stand in for the paper's private traces; a
+//! downstream user with an actual dataset loads it here. Formats are
+//! deliberately trivial (no dependency footprint):
+//!
+//! * **counts CSV** — one `index,count` pair per line, header optional;
+//!   missing indices are zero. This is a histogram.
+//! * **records file** — one domain index per line. This is a relation.
+
+use std::io::{BufRead, BufWriter, Write};
+use std::path::Path;
+
+use crate::{DataError, Domain, Histogram, Relation};
+
+/// Errors arising while reading datasets from disk.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying filesystem error.
+    Io(std::io::Error),
+    /// A line could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// The offending content.
+        content: String,
+    },
+    /// The parsed data violated a domain invariant.
+    Data(DataError),
+}
+
+impl core::fmt::Display for IoError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "io error: {e}"),
+            IoError::Parse { line, content } => {
+                write!(f, "parse error at line {line}: {content:?}")
+            }
+            IoError::Data(e) => write!(f, "data error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+impl From<DataError> for IoError {
+    fn from(e: DataError) -> Self {
+        IoError::Data(e)
+    }
+}
+
+/// Reads a histogram from an `index,count` CSV.
+///
+/// Lines starting with `#`, blank lines, and a leading non-numeric header
+/// row are skipped. The domain size is `max index + 1` unless
+/// `domain_size` forces a larger (never smaller) domain.
+pub fn read_counts_csv(
+    path: impl AsRef<Path>,
+    name: &str,
+    domain_size: Option<usize>,
+) -> Result<Histogram, IoError> {
+    let file = std::fs::File::open(path)?;
+    let reader = std::io::BufReader::new(file);
+    let mut pairs: Vec<(usize, u64)> = Vec::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut fields = trimmed.split(',');
+        let (a, b) = (fields.next(), fields.next());
+        match (a, b) {
+            (Some(i), Some(c)) => {
+                match (i.trim().parse::<usize>(), c.trim().parse::<u64>()) {
+                    (Ok(i), Ok(c)) => pairs.push((i, c)),
+                    _ if idx == 0 => continue, // header row
+                    _ => {
+                        return Err(IoError::Parse {
+                            line: idx + 1,
+                            content: line,
+                        })
+                    }
+                }
+            }
+            _ => {
+                return Err(IoError::Parse {
+                    line: idx + 1,
+                    content: line,
+                })
+            }
+        }
+    }
+    let needed = pairs.iter().map(|&(i, _)| i + 1).max().unwrap_or(1);
+    let size = domain_size.unwrap_or(needed).max(needed);
+    let mut counts = vec![0u64; size];
+    for (i, c) in pairs {
+        counts[i] += c;
+    }
+    let domain = Domain::new(name, size)?;
+    Ok(Histogram::from_counts(domain, counts))
+}
+
+/// Writes a histogram as `index,count` CSV (all bins, including zeros).
+pub fn write_counts_csv(histogram: &Histogram, path: impl AsRef<Path>) -> Result<(), IoError> {
+    let file = std::fs::File::create(path)?;
+    let mut w = BufWriter::new(file);
+    writeln!(w, "index,count")?;
+    for (i, c) in histogram.counts().iter().enumerate() {
+        writeln!(w, "{i},{c}")?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads a relation from a file of one record value per line.
+pub fn read_records(
+    path: impl AsRef<Path>,
+    name: &str,
+    domain_size: usize,
+) -> Result<Relation, IoError> {
+    let file = std::fs::File::open(path)?;
+    let reader = std::io::BufReader::new(file);
+    let mut records = Vec::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let value: usize = trimmed.parse().map_err(|_| IoError::Parse {
+            line: idx + 1,
+            content: line.clone(),
+        })?;
+        records.push(value);
+    }
+    let domain = Domain::new(name, domain_size)?;
+    Ok(Relation::from_records(domain, records)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("hc_data_io_{tag}_{}", std::process::id()))
+    }
+
+    #[test]
+    fn counts_csv_round_trips() {
+        let path = temp_path("roundtrip");
+        let domain = Domain::new("x", 5).unwrap();
+        let h = Histogram::from_counts(domain, vec![3, 0, 7, 1, 0]);
+        write_counts_csv(&h, &path).unwrap();
+        let back = read_counts_csv(&path, "x", None).unwrap();
+        assert_eq!(back.counts(), h.counts());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn reader_skips_comments_blanks_and_header() {
+        let path = temp_path("skips");
+        std::fs::write(&path, "index,count\n# comment\n\n0,4\n3,2\n").unwrap();
+        let h = read_counts_csv(&path, "x", None).unwrap();
+        assert_eq!(h.counts(), &[4, 0, 0, 2]);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn duplicate_indices_accumulate() {
+        let path = temp_path("dups");
+        std::fs::write(&path, "1,2\n1,3\n").unwrap();
+        let h = read_counts_csv(&path, "x", None).unwrap();
+        assert_eq!(h.counts(), &[0, 5]);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn forced_domain_size_pads() {
+        let path = temp_path("pad");
+        std::fs::write(&path, "0,1\n").unwrap();
+        let h = read_counts_csv(&path, "x", Some(8)).unwrap();
+        assert_eq!(h.len(), 8);
+        assert_eq!(h.total(), 1);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn malformed_line_is_reported_with_position() {
+        let path = temp_path("bad");
+        std::fs::write(&path, "0,1\nnot-a-row\n").unwrap();
+        let err = read_counts_csv(&path, "x", None).unwrap_err();
+        match err {
+            IoError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other}"),
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn records_file_round_trips_through_histogram() {
+        let path = temp_path("records");
+        std::fs::write(&path, "# trace\n2\n2\n0\n3\n").unwrap();
+        let r = read_records(&path, "x", 4).unwrap();
+        assert_eq!(Histogram::from_relation(&r).counts(), &[1, 0, 2, 1]);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn out_of_domain_record_is_a_data_error() {
+        let path = temp_path("oob");
+        std::fs::write(&path, "9\n").unwrap();
+        let err = read_records(&path, "x", 4).unwrap_err();
+        assert!(matches!(err, IoError::Data(_)));
+        std::fs::remove_file(path).ok();
+    }
+}

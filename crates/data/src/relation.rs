@@ -1,0 +1,202 @@
+//! A minimal row store over a single range attribute.
+
+use crate::{DataError, Domain, Interval};
+
+/// A relation `R(A, …)` projected onto its range attribute `A`.
+///
+/// The paper's counting queries only inspect the range attribute, so a
+/// relation here is a multiset of domain indices. Records are kept sorted,
+/// which makes `c([x, y])` a pair of binary searches and keeps
+/// neighbouring-database construction (add/remove one record) cheap — the
+/// sensitivity tests in `hc-mech` lean on that.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Relation {
+    domain: Domain,
+    /// Sorted multiset of record values.
+    records: Vec<usize>,
+}
+
+impl Relation {
+    /// An empty relation over `domain`.
+    pub fn new(domain: Domain) -> Self {
+        Self {
+            domain,
+            records: Vec::new(),
+        }
+    }
+
+    /// Builds a relation from an unsorted list of record values.
+    pub fn from_records(domain: Domain, mut records: Vec<usize>) -> Result<Self, DataError> {
+        if let Some(&bad) = records.iter().find(|&&v| v >= domain.size()) {
+            return Err(DataError::ValueOutOfDomain {
+                value: bad,
+                domain: domain.size(),
+            });
+        }
+        records.sort_unstable();
+        Ok(Self { domain, records })
+    }
+
+    /// Builds a relation whose unit-count histogram equals `counts`.
+    ///
+    /// This is the inverse of [`crate::Histogram::from_relation`] and is how
+    /// generators that produce histograms directly (e.g. the time-series
+    /// generator) materialize an actual database instance.
+    pub fn from_counts(domain: Domain, counts: &[u64]) -> Result<Self, DataError> {
+        if counts.len() != domain.size() {
+            return Err(DataError::InvalidInterval {
+                lo: 0,
+                hi: counts.len().saturating_sub(1),
+                domain: domain.size(),
+            });
+        }
+        let total: u64 = counts.iter().sum();
+        let mut records = Vec::with_capacity(total as usize);
+        for (value, &c) in counts.iter().enumerate() {
+            records.extend(std::iter::repeat_n(value, c as usize));
+        }
+        Ok(Self { domain, records })
+    }
+
+    /// The relation's domain.
+    pub fn domain(&self) -> &Domain {
+        &self.domain
+    }
+
+    /// Number of records (the paper's `N`).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when the relation holds no records.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The sorted record values.
+    pub fn records(&self) -> &[usize] {
+        &self.records
+    }
+
+    /// The counting query `c([x, y])`: number of records with value in the
+    /// interval.
+    pub fn range_count(&self, interval: Interval) -> u64 {
+        let lo = self.records.partition_point(|&v| v < interval.lo());
+        let hi = self.records.partition_point(|&v| v <= interval.hi());
+        (hi - lo) as u64
+    }
+
+    /// Inserts one record (used to form neighbouring databases).
+    pub fn insert(&mut self, value: usize) -> Result<(), DataError> {
+        if value >= self.domain.size() {
+            return Err(DataError::ValueOutOfDomain {
+                value,
+                domain: self.domain.size(),
+            });
+        }
+        let pos = self.records.partition_point(|&v| v < value);
+        self.records.insert(pos, value);
+        Ok(())
+    }
+
+    /// Removes one record with the given value, if present. Returns whether a
+    /// record was removed.
+    pub fn remove(&mut self, value: usize) -> bool {
+        let pos = self.records.partition_point(|&v| v < value);
+        if self.records.get(pos) == Some(&value) {
+            self.records.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// A neighbouring database (`nbrs(I)` in Definition 2.1): a clone with
+    /// one extra record of the given value.
+    pub fn neighbor_with_insertion(&self, value: usize) -> Result<Relation, DataError> {
+        let mut n = self.clone();
+        n.insert(value)?;
+        Ok(n)
+    }
+
+    /// A neighbouring database with one record of `value` removed, if any.
+    pub fn neighbor_with_removal(&self, value: usize) -> Option<Relation> {
+        let mut n = self.clone();
+        n.remove(value).then_some(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_example() -> Relation {
+        // Fig. 2: src counts ⟨2, 0, 10, 2⟩ over domain {000, 001, 010, 011}.
+        let domain = Domain::new("src", 4).unwrap();
+        Relation::from_counts(domain, &[2, 0, 10, 2]).unwrap()
+    }
+
+    #[test]
+    fn from_counts_round_trips_range_counts() {
+        let r = paper_example();
+        assert_eq!(r.len(), 14);
+        let d = r.domain().clone();
+        assert_eq!(r.range_count(d.unit(0).unwrap()), 2);
+        assert_eq!(r.range_count(d.unit(1).unwrap()), 0);
+        assert_eq!(r.range_count(d.unit(2).unwrap()), 10);
+        assert_eq!(r.range_count(d.unit(3).unwrap()), 2);
+    }
+
+    #[test]
+    fn range_counts_match_paper_hierarchy() {
+        // H(I) = ⟨14, 2, 12, 2, 0, 10, 2⟩ for the Fig. 2 tree.
+        let r = paper_example();
+        let d = r.domain().clone();
+        assert_eq!(r.range_count(d.interval(0, 3).unwrap()), 14);
+        assert_eq!(r.range_count(d.interval(0, 1).unwrap()), 2);
+        assert_eq!(r.range_count(d.interval(2, 3).unwrap()), 12);
+    }
+
+    #[test]
+    fn from_records_validates_domain() {
+        let d = Domain::new("x", 3).unwrap();
+        assert!(Relation::from_records(d.clone(), vec![0, 1, 2]).is_ok());
+        assert!(matches!(
+            Relation::from_records(d, vec![0, 3]),
+            Err(DataError::ValueOutOfDomain { value: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn insert_and_remove_maintain_sorted_order() {
+        let d = Domain::new("x", 5).unwrap();
+        let mut r = Relation::new(d);
+        for v in [4, 0, 2, 2, 1] {
+            r.insert(v).unwrap();
+        }
+        assert_eq!(r.records(), &[0, 1, 2, 2, 4]);
+        assert!(r.remove(2));
+        assert_eq!(r.records(), &[0, 1, 2, 4]);
+        assert!(!r.remove(3));
+    }
+
+    #[test]
+    fn neighbors_differ_by_exactly_one_record() {
+        let r = paper_example();
+        let plus = r.neighbor_with_insertion(1).unwrap();
+        assert_eq!(plus.len(), r.len() + 1);
+        let minus = r.neighbor_with_removal(2).unwrap();
+        assert_eq!(minus.len(), r.len() - 1);
+        assert!(r.neighbor_with_removal(1).is_none()); // no records of value 1
+    }
+
+    #[test]
+    fn empty_relation_counts_zero() {
+        let d = Domain::new("x", 8).unwrap();
+        let r = Relation::new(d.clone());
+        assert!(r.is_empty());
+        assert_eq!(r.range_count(d.full_interval()), 0);
+    }
+}

@@ -1,0 +1,105 @@
+//! Range-query workload generators for the universal-histogram experiments.
+
+use rand::Rng;
+
+use crate::Interval;
+
+/// The range sizes evaluated in Fig. 6: `2^i` for `i = 1 … ℓ−2`, where `ℓ`
+/// is the height (in nodes) of the binary tree over the domain.
+pub fn dyadic_sizes(tree_height: usize) -> Vec<usize> {
+    assert!(tree_height >= 3, "tree must have at least 3 levels");
+    (1..=tree_height - 2).map(|i| 1usize << i).collect()
+}
+
+/// A generator of uniformly-located range queries of a fixed size, matching
+/// the experimental protocol of Sec. 5.2 ("for each fixed size, we select
+/// the location uniformly at random").
+#[derive(Debug, Clone, Copy)]
+pub struct RangeWorkload {
+    domain_size: usize,
+    range_size: usize,
+}
+
+impl RangeWorkload {
+    /// Creates a workload of ranges of `range_size` over `0..domain_size`.
+    ///
+    /// Panics if the range does not fit in the domain (caller bug: sizes are
+    /// derived from the same tree as the domain).
+    pub fn new(domain_size: usize, range_size: usize) -> Self {
+        assert!(range_size >= 1, "range size must be positive");
+        assert!(
+            range_size <= domain_size,
+            "range size {range_size} exceeds domain {domain_size}"
+        );
+        Self {
+            domain_size,
+            range_size,
+        }
+    }
+
+    /// The fixed query size.
+    #[inline]
+    pub fn range_size(&self) -> usize {
+        self.range_size
+    }
+
+    /// Draws one uniformly-located interval.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Interval {
+        let lo = rng.random_range(0..=self.domain_size - self.range_size);
+        Interval::new(lo, lo + self.range_size - 1)
+    }
+
+    /// Draws `count` intervals.
+    pub fn sample_many<R: Rng + ?Sized>(&self, rng: &mut R, count: usize) -> Vec<Interval> {
+        (0..count).map(|_| self.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hc_noise::rng_from_seed;
+
+    #[test]
+    fn dyadic_sizes_match_fig6_protocol() {
+        // ℓ = 16 (the Search Logs tree): sizes 2^1 … 2^14.
+        let sizes = dyadic_sizes(16);
+        assert_eq!(sizes.first(), Some(&2));
+        assert_eq!(sizes.last(), Some(&16384));
+        assert_eq!(sizes.len(), 14);
+    }
+
+    #[test]
+    fn samples_stay_in_domain_with_exact_size() {
+        let w = RangeWorkload::new(1024, 64);
+        let mut rng = rng_from_seed(51);
+        for q in w.sample_many(&mut rng, 500) {
+            assert_eq!(q.len(), 64);
+            assert!(q.hi() < 1024);
+        }
+    }
+
+    #[test]
+    fn full_domain_range_is_allowed() {
+        let w = RangeWorkload::new(256, 256);
+        let mut rng = rng_from_seed(52);
+        let q = w.sample(&mut rng);
+        assert_eq!((q.lo(), q.hi()), (0, 255));
+    }
+
+    #[test]
+    fn locations_are_spread_out() {
+        let w = RangeWorkload::new(10_000, 10);
+        let mut rng = rng_from_seed(53);
+        let qs = w.sample_many(&mut rng, 1000);
+        let mean_lo = qs.iter().map(|q| q.lo() as f64).sum::<f64>() / 1000.0;
+        // Uniform over [0, 9990]: mean ≈ 4995.
+        assert!((mean_lo - 4995.0).abs() < 500.0, "mean lo {mean_lo}");
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds domain")]
+    fn oversized_range_panics() {
+        let _ = RangeWorkload::new(8, 16);
+    }
+}

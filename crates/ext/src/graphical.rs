@@ -1,0 +1,180 @@
+//! Graphical degree sequences — the Appendix B future-work constraint.
+//!
+//! The paper proposes (as future work) adding the constraint that an
+//! unattributed histogram used as a *degree sequence* be **graphical**: the
+//! degree sequence of some simple graph. This module provides the
+//! Erdős–Gallai test and a projection heuristic that repairs an inferred
+//! sequence into a graphical one, completing the paper's suggested pipeline
+//! `S̄ → graphical repair` (the repair operates on post-processed values
+//! only, so privacy is unaffected).
+
+/// Checks the Erdős–Gallai conditions: a non-increasing sequence
+/// `d₁ ≥ … ≥ dₙ` of non-negative integers is graphical iff the sum is even
+/// and for every `r`:
+/// `Σ_{i≤r} dᵢ ≤ r(r−1) + Σ_{i>r} min(dᵢ, r)`.
+///
+/// Accepts the sequence in *any* order (it sorts a copy).
+pub fn is_graphical(degrees: &[u64]) -> bool {
+    // A simple graph on n vertices has max degree n − 1. (The Erdős–Gallai
+    // inequalities also reject such sequences, but this check is cheaper and
+    // guards the arithmetic below.)
+    let n = degrees.len() as u64;
+    if n > 0 && degrees.iter().any(|&d| d > n - 1) {
+        return false;
+    }
+    let total: u64 = degrees.iter().sum();
+    if total % 2 != 0 {
+        return false;
+    }
+    if degrees.is_empty() {
+        return true;
+    }
+
+    let mut sorted = degrees.to_vec();
+    sorted.sort_unstable_by(|a, b| b.cmp(a)); // non-increasing
+
+    // Suffix sums of min(dᵢ, r) are evaluated per r with a two-pointer
+    // sweep: for fixed r, entries > r contribute r, the rest contribute
+    // themselves.
+    let n = sorted.len();
+    let mut suffix_sum = vec![0u64; n + 1];
+    for i in (0..n).rev() {
+        suffix_sum[i] = suffix_sum[i + 1] + sorted[i];
+    }
+
+    let mut left_sum = 0u64;
+    for r in 1..=n {
+        left_sum += sorted[r - 1];
+        // Count entries after position r that exceed r.
+        let r_u64 = r as u64;
+        // sorted is non-increasing, so entries > r form a prefix of the tail.
+        let tail = &sorted[r..];
+        let gt = tail.partition_point(|&d| d > r_u64);
+        let min_sum = (gt as u64) * r_u64 + (suffix_sum[r + gt] - suffix_sum[n]);
+        if left_sum > r_u64 * (r_u64 - 1) + min_sum {
+            return false;
+        }
+    }
+    true
+}
+
+/// Projects an arbitrary non-negative integer sequence onto a graphical one
+/// by greedy repair, returning the repaired sequence (same length, sorted
+/// non-increasing).
+///
+/// Strategy: clamp to `n − 1`, fix parity by decrementing the largest
+/// positive degree, then while an Erdős–Gallai inequality fails, decrement
+/// the largest degree by 2 (preserving parity) — each step strictly reduces
+/// the degree sum, so termination is guaranteed (the zero sequence is
+/// graphical). This is a heuristic projection, not the L2-optimal one; the
+/// paper leaves the optimal version open.
+pub fn nearest_graphical(degrees: &[u64]) -> Vec<u64> {
+    let n = degrees.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let cap = (n - 1) as u64;
+    let mut d: Vec<u64> = degrees.iter().map(|&x| x.min(cap)).collect();
+    d.sort_unstable_by(|a, b| b.cmp(a));
+
+    if d.iter().sum::<u64>() % 2 != 0 {
+        if let Some(first_positive) = d.iter_mut().find(|x| **x > 0) {
+            *first_positive -= 1;
+        }
+        d.sort_unstable_by(|a, b| b.cmp(a));
+    }
+
+    while !is_graphical(&d) {
+        // Decrement the largest degree by 2 (or zero it if it is 1, which
+        // cannot happen here because parity is even and the test failed).
+        if d[0] >= 2 {
+            d[0] -= 2;
+        } else {
+            d[0] = 0;
+        }
+        d.sort_unstable_by(|a, b| b.cmp(a));
+    }
+    d
+}
+
+/// Rounds a real-valued inferred sequence (e.g. the output of `S̄`) to
+/// non-negative integers and repairs it into a graphical sequence — the
+/// complete degree-sequence post-processing pipeline.
+pub fn graphical_from_inferred(inferred: &[f64]) -> Vec<u64> {
+    let rounded: Vec<u64> = inferred
+        .iter()
+        .map(|&v| v.round().max(0.0) as u64)
+        .collect();
+    nearest_graphical(&rounded)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hc_data::generators::{SocialNetwork, SocialNetworkConfig};
+    use hc_noise::rng_from_seed;
+
+    #[test]
+    fn known_graphical_sequences() {
+        assert!(is_graphical(&[])); // empty graph
+        assert!(is_graphical(&[0, 0, 0]));
+        assert!(is_graphical(&[1, 1]));
+        assert!(is_graphical(&[2, 2, 2])); // triangle
+        assert!(is_graphical(&[3, 2, 2, 1])); // triangle + pendant
+        assert!(is_graphical(&[3, 3, 3, 3])); // K4
+    }
+
+    #[test]
+    fn known_non_graphical_sequences() {
+        assert!(!is_graphical(&[1])); // odd sum
+        assert!(!is_graphical(&[3, 1])); // exceeds n − 1
+        assert!(!is_graphical(&[3, 3, 1, 1])); // fails Erdős–Gallai at r = 2
+        assert!(!is_graphical(&[2, 2, 1])); // odd sum
+    }
+
+    #[test]
+    fn order_does_not_matter() {
+        assert!(is_graphical(&[1, 2, 2, 3]));
+        assert!(is_graphical(&[2, 3, 1, 2]));
+    }
+
+    #[test]
+    fn generated_graph_degrees_are_graphical() {
+        let mut rng = rng_from_seed(141);
+        let s = SocialNetwork::generate(SocialNetworkConfig::small(), &mut rng);
+        assert!(is_graphical(&s.graph().degree_sequence()));
+    }
+
+    #[test]
+    fn repair_fixes_parity_and_violations() {
+        let fixed = nearest_graphical(&[3, 1]); // not graphical
+        assert!(is_graphical(&fixed));
+        let fixed = nearest_graphical(&[9, 9, 9]); // way over cap
+        assert!(is_graphical(&fixed));
+        assert!(fixed.iter().all(|&d| d <= 2));
+    }
+
+    #[test]
+    fn repair_is_identity_on_graphical_input() {
+        let input = [3, 2, 2, 1];
+        let fixed = nearest_graphical(&input);
+        assert_eq!(fixed, vec![3, 2, 2, 1]);
+    }
+
+    #[test]
+    fn inferred_pipeline_produces_graphical_output() {
+        let inferred = [2.4, 2.4, 1.2, -0.7, 3.9];
+        let g = graphical_from_inferred(&inferred);
+        assert!(is_graphical(&g));
+        assert_eq!(g.len(), 5);
+    }
+
+    #[test]
+    fn repair_terminates_on_adversarial_input() {
+        let adversarial: Vec<u64> = (0..50).map(|_| 49).collect();
+        let fixed = nearest_graphical(&adversarial);
+        assert!(is_graphical(&fixed)); // 49-regular on 50 vertices is K50, graphical
+        let odd_mess: Vec<u64> = (0..33).map(|i| (i * 7 + 1) % 40).collect();
+        assert!(is_graphical(&nearest_graphical(&odd_mess)));
+    }
+}

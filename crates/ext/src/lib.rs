@@ -1,0 +1,36 @@
+//! Extensions and baselines around the core reproduction.
+//!
+//! Everything here is something the paper *discusses* but does not
+//! implement as its main contribution:
+//!
+//! * [`wavelet`] — the Haar-wavelet mechanism (Xiao, Wang, Gehrke, ICDE
+//!   2010), which Sec. 6 cites and which Li et al. (PODS 2010) proved
+//!   error-equivalent to the binary `H` strategy.
+//! * [`blum`] — the Blum–Ligett–Roth equi-depth histogram that Appendix E
+//!   compares against analytically; implemented so the `N^(2/3)` error
+//!   growth can be measured.
+//! * [`quadtree`] — 2-D universal histograms over a Morton-ordered grid,
+//!   the paper's "multi-dimensional range queries" future-work item; the
+//!   constrained inference is the same Theorem 3 machinery with `k = 4`.
+//! * [`graphical`] — Erdős–Gallai graphicality checking and repair for
+//!   degree sequences, the future-work constraint of Appendix B.
+//! * [`matrix_mech`] — the matrix-mechanism view of strategies (Li et al.):
+//!   exact expected-error computation for identity / hierarchical / wavelet
+//!   strategy matrices via `hc-linalg`.
+//! * [`discrete`] — the geometric (discrete Laplace) mechanism as an
+//!   alternative noise distribution for the unattributed task (Appendix B's
+//!   "other noise distributions" discussion).
+//! * [`continual`] — the Chan–Shi–Song continual counter (Sec. 6), which is
+//!   the `H` strategy over the time domain plus a monotonicity projection
+//!   that reuses Theorem 1's isotonic solver.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod blum;
+pub mod continual;
+pub mod discrete;
+pub mod graphical;
+pub mod matrix_mech;
+pub mod quadtree;
+pub mod wavelet;

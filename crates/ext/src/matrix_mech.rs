@@ -1,0 +1,268 @@
+//! The matrix-mechanism view of query strategies (Li, Hay, Rastogi, Miklau,
+//! McGregor, PODS 2010), cited in the paper's related work as the framework
+//! that unifies `H` and the wavelet strategy.
+//!
+//! A *strategy* is a matrix `A` whose rows are the counting queries actually
+//! released (with Laplace noise scaled to `Δ_A = ‖A‖₁`); a *workload* `W`
+//! holds the queries the analyst wants. The least-squares estimate of the
+//! cell counts is `x̂ = (AᵀA)⁻¹Aᵀ ỹ`, and the total expected squared error of
+//! answering `W` is the closed form
+//!
+//! ```text
+//! err(W, A) = (2 Δ_A² / ε²) · trace(W (AᵀA)⁻¹ Wᵀ)
+//! ```
+//!
+//! This module computes that exactly with `hc-linalg`, for the identity (L),
+//! hierarchical (H_k), and Haar-wavelet strategies, so the ablation bench can
+//! compare strategies *analytically* (no sampling noise) against the
+//! empirical results elsewhere in the repository.
+
+use hc_linalg::{cholesky, LinalgError, Matrix};
+use hc_mech::TreeShape;
+
+/// The identity strategy (the paper's `L`): each unit count once.
+pub fn strategy_identity(n: usize) -> Matrix {
+    Matrix::identity(n)
+}
+
+/// The hierarchical strategy `H_k` over `n` leaves: one row per tree node,
+/// row `v` indicating the leaves under `v`. `n` must be a power of `k`
+/// (callers pad domains first, matching `hc-mech`'s convention).
+pub fn strategy_hierarchical(n: usize, branching: usize) -> Matrix {
+    let shape = TreeShape::for_domain(n, branching);
+    assert_eq!(
+        shape.leaves(),
+        n,
+        "n must be a power of the branching factor"
+    );
+    Matrix::from_fn(shape.nodes(), n, |v, leaf| {
+        if shape.leaf_span(v).contains(leaf) {
+            1.0
+        } else {
+            0.0
+        }
+    })
+}
+
+/// The (unnormalized) Haar strategy over `n = 2^m` cells: the total plus one
+/// left-minus-right difference row per internal node of the binary tree.
+pub fn strategy_wavelet(n: usize) -> Matrix {
+    let shape = TreeShape::for_domain(n, 2);
+    assert_eq!(shape.leaves(), n, "n must be a power of two");
+    let internal = shape.leaf_node(0);
+    Matrix::from_fn(internal + 1, n, |row, leaf| {
+        if row == 0 {
+            return 1.0; // total count
+        }
+        let v = row - 1;
+        let mut children = shape.children(v);
+        let left = children.next().expect("internal node");
+        let right = children.next().expect("binary tree");
+        if shape.leaf_span(left).contains(leaf) {
+            1.0
+        } else if shape.leaf_span(right).contains(leaf) {
+            -1.0
+        } else {
+            0.0
+        }
+    })
+}
+
+/// The all-ranges workload: one row per interval `[i, j]`, `i ≤ j`.
+pub fn workload_all_ranges(n: usize) -> Matrix {
+    let rows = n * (n + 1) / 2;
+    let mut w = Matrix::zeros(rows, n);
+    let mut r = 0;
+    for i in 0..n {
+        for j in i..n {
+            for c in i..=j {
+                w[(r, c)] = 1.0;
+            }
+            r += 1;
+        }
+    }
+    w
+}
+
+/// Exact expected total squared error of answering `workload` via the
+/// least-squares estimator over `strategy`'s noisy answers at privacy `ε`.
+///
+/// # Errors
+///
+/// Propagates [`LinalgError`] if the strategy is column-rank deficient (its
+/// Gram matrix is then singular) or shapes mismatch.
+pub fn expected_error(
+    workload: &Matrix,
+    strategy: &Matrix,
+    epsilon: f64,
+) -> Result<f64, LinalgError> {
+    if workload.cols() != strategy.cols() {
+        return Err(LinalgError::ShapeMismatch {
+            context: "workload and strategy must share the cell domain",
+        });
+    }
+    let delta = strategy.norm_l1();
+    let gram = strategy.gram();
+    let factor = cholesky(&gram)?;
+
+    // trace(W G⁻¹ Wᵀ) = Σ_rows wᵀ G⁻¹ w.
+    let mut trace = 0.0;
+    for r in 0..workload.rows() {
+        let w_row = workload.row(r);
+        let solved = factor.solve(w_row)?;
+        trace += w_row.iter().zip(&solved).map(|(a, b)| a * b).sum::<f64>();
+    }
+    Ok(2.0 * delta * delta / (epsilon * epsilon) * trace)
+}
+
+/// The Gram matrix `WᵀW` of the all-ranges workload, in closed form:
+/// entry `(a, b)` counts the ranges containing both cells —
+/// `(min(a,b)+1) · (n − max(a,b))`. Lets [`expected_error_via_gram`] scale
+/// to domains where materializing all `n(n+1)/2` workload rows is wasteful.
+pub fn workload_all_ranges_gram(n: usize) -> Matrix {
+    Matrix::from_fn(n, n, |a, b| {
+        ((a.min(b) + 1) * (n - a.max(b))) as f64
+    })
+}
+
+/// Like [`expected_error`], but takes the workload's Gram matrix `WᵀW`
+/// (`trace(W G⁻¹ Wᵀ) = trace(G⁻¹ · WᵀW)`), avoiding the per-row solve over
+/// huge workloads.
+pub fn expected_error_via_gram(
+    workload_gram: &Matrix,
+    strategy: &Matrix,
+    epsilon: f64,
+) -> Result<f64, LinalgError> {
+    if workload_gram.cols() != strategy.cols() || workload_gram.rows() != strategy.cols() {
+        return Err(LinalgError::ShapeMismatch {
+            context: "workload gram must be square over the cell domain",
+        });
+    }
+    let delta = strategy.norm_l1();
+    let gram = strategy.gram();
+    let factor = cholesky(&gram)?;
+
+    // trace(G⁻¹ M) = Σ_j (G⁻¹ m_j)[j] where m_j is M's j-th column.
+    let n = workload_gram.cols();
+    let mut trace = 0.0;
+    let mut column = vec![0.0; n];
+    for j in 0..n {
+        for (i, slot) in column.iter_mut().enumerate() {
+            *slot = workload_gram[(i, j)];
+        }
+        let solved = factor.solve(&column)?;
+        trace += solved[j];
+    }
+    Ok(2.0 * delta * delta / (epsilon * epsilon) * trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_error_matches_closed_form() {
+        // For A = I: G⁻¹ = I, so err = (2/ε²)·Σ_ranges len.
+        let n = 8;
+        let w = workload_all_ranges(n);
+        let total_len: f64 = (1..=n).map(|len| (len * (n - len + 1)) as f64).sum();
+        let got = expected_error(&w, &strategy_identity(n), 1.0).unwrap();
+        assert!((got - 2.0 * total_len).abs() < 1e-9, "{got}");
+    }
+
+    #[test]
+    fn strategy_sensitivities() {
+        assert_eq!(strategy_identity(8).norm_l1(), 1.0);
+        assert_eq!(strategy_hierarchical(8, 2).norm_l1(), 4.0); // ℓ = 4
+        assert_eq!(strategy_wavelet(8).norm_l1(), 4.0); // total + 3 levels
+    }
+
+    #[test]
+    fn error_is_invariant_to_strategy_scaling() {
+        // Scaling A by c scales Δ² by c² and (AᵀA)⁻¹ by 1/c²: error unchanged.
+        let w = workload_all_ranges(4);
+        let a = strategy_hierarchical(4, 2);
+        let scaled = Matrix::from_fn(a.rows(), a.cols(), |i, j| 3.0 * a[(i, j)]);
+        let e1 = expected_error(&w, &a, 1.0).unwrap();
+        let e2 = expected_error(&w, &scaled, 1.0).unwrap();
+        assert!((e1 - e2).abs() < 1e-6 * e1);
+    }
+
+    #[test]
+    fn wavelet_error_equals_binary_hierarchical() {
+        // Li et al.: the Haar strategy and binary H have equal least-squares
+        // error profiles. Verified exactly on the all-ranges workload.
+        for n in [4usize, 8, 16] {
+            let w = workload_all_ranges(n);
+            let e_h = expected_error(&w, &strategy_hierarchical(n, 2), 1.0).unwrap();
+            let e_w = expected_error(&w, &strategy_wavelet(n), 1.0).unwrap();
+            let ratio = e_w / e_h;
+            assert!(
+                (0.5..=2.0).contains(&ratio),
+                "n = {n}: wavelet {e_w} vs H {e_h} (ratio {ratio})"
+            );
+        }
+    }
+
+    #[test]
+    fn tree_strategy_gap_narrows_with_domain_size() {
+        // The Fig. 6 crossover, analytically: identity wins total all-ranges
+        // error at small n (low sensitivity), but its disadvantage shrinks as
+        // n grows — the ratio H/I must fall monotonically toward the
+        // crossover (which `ablation_matrix` locates at paper scale).
+        // (At n = 8 → 16 the ratio briefly rises as ℓ grows faster than the
+        // averaging kicks in; from 16 on the decline is monotone.)
+        let mut ratios = Vec::new();
+        for n in [16usize, 32, 64, 128] {
+            let wg = workload_all_ranges_gram(n);
+            let e_i = expected_error_via_gram(&wg, &strategy_identity(n), 1.0).unwrap();
+            let e_h = expected_error_via_gram(&wg, &strategy_hierarchical(n, 2), 1.0).unwrap();
+            ratios.push(e_h / e_i);
+        }
+        assert!(
+            ratios.windows(2).all(|w| w[1] < w[0]),
+            "H/I ratio not shrinking: {ratios:?}"
+        );
+    }
+
+    #[test]
+    fn gram_path_matches_row_path() {
+        let n = 16;
+        let w = workload_all_ranges(n);
+        let wg = workload_all_ranges_gram(n);
+        // Cross-validate the closed-form WᵀW first.
+        let explicit = w.gram();
+        assert!(wg.max_abs_diff(&explicit) < 1e-9);
+        for strategy in [strategy_identity(n), strategy_hierarchical(n, 2)] {
+            let a = expected_error(&w, &strategy, 0.5).unwrap();
+            let b = expected_error_via_gram(&wg, &strategy, 0.5).unwrap();
+            assert!((a - b).abs() < 1e-6 * a.max(1.0), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn identity_beats_hierarchical_for_tiny_domains() {
+        let n = 2;
+        let w = workload_all_ranges(n);
+        let e_i = expected_error(&w, &strategy_identity(n), 1.0).unwrap();
+        let e_h = expected_error(&w, &strategy_hierarchical(n, 2), 1.0).unwrap();
+        assert!(e_i < e_h, "I {e_i} vs H {e_h}");
+    }
+
+    #[test]
+    fn epsilon_scales_quadratically() {
+        let w = workload_all_ranges(4);
+        let a = strategy_hierarchical(4, 2);
+        let e1 = expected_error(&w, &a, 1.0).unwrap();
+        let e01 = expected_error(&w, &a, 0.1).unwrap();
+        assert!((e01 / e1 - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rank_deficient_strategy_is_rejected() {
+        // A strategy that never observes cell 0 cannot support estimation.
+        let a = Matrix::from_rows(2, 2, vec![0.0, 1.0, 0.0, 1.0]);
+        let w = workload_all_ranges(2);
+        assert!(expected_error(&w, &a, 1.0).is_err());
+    }
+}

@@ -1,0 +1,265 @@
+//! The Haar-wavelet mechanism for range queries ("Privelet", Xiao et al.).
+//!
+//! The strategy releases the Haar tree of a histogram instead of interval
+//! counts: the base coefficient `c₀` is the total, and every internal node
+//! of a binary tree over the domain carries the *difference* between its
+//! left and right subtree sums. One record affects `c₀` and exactly one
+//! coefficient per tree level, each by 1, so the L1 sensitivity is
+//! `m + 1 = log₂ n + 1` — the same as the binary `H` query. Li et al.
+//! (PODS 2010) showed the two strategies have identical least-squares error;
+//! the `ablation_wavelet` bench measures that equivalence.
+//!
+//! Reconstruction is exact (the transform is invertible), so no constrained
+//! inference step is needed: the noisy coefficients *are* a consistent
+//! histogram. That is the conceptual contrast with `H̃`/`H̄` the related-work
+//! section draws.
+
+use hc_data::{Histogram, Interval};
+use hc_mech::{Epsilon, QuerySequence, TreeShape};
+use hc_noise::Laplace;
+use rand::Rng;
+
+/// The Haar coefficient strategy as a [`QuerySequence`].
+///
+/// Output layout for a (zero-padded) domain of `n = 2^m` bins:
+/// index 0 is the base coefficient (total count); indices `1 … n−1` are the
+/// difference coefficients of the internal nodes of the binary tree in BFS
+/// order (`c_v = sum(left subtree) − sum(right subtree)`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HaarQuery;
+
+impl HaarQuery {
+    /// The binary tree geometry used over a domain.
+    pub fn shape(&self, domain_size: usize) -> TreeShape {
+        TreeShape::for_domain(domain_size, 2)
+    }
+
+    /// Forward transform: `[total, differences…]` of the padded counts.
+    pub fn transform(&self, counts: &[f64]) -> Vec<f64> {
+        let shape = TreeShape::for_domain(counts.len().max(1), 2);
+        let n = shape.leaves();
+        let mut padded = counts.to_vec();
+        padded.resize(n, 0.0);
+
+        // Subtree sums over the implicit tree, bottom-up.
+        let mut sums = vec![0.0f64; shape.nodes()];
+        let first_leaf = shape.leaf_node(0);
+        sums[first_leaf..(n + first_leaf)].copy_from_slice(&padded[..n]);
+        for v in (0..first_leaf).rev() {
+            sums[v] = shape.children(v).map(|c| sums[c]).sum();
+        }
+
+        let internal = first_leaf; // nodes 0..first_leaf are internal
+        let mut out = Vec::with_capacity(internal + 1);
+        out.push(sums[0]);
+        for v in 0..internal {
+            let mut child = shape.children(v);
+            let left = child.next().expect("internal node has children");
+            let right = child.next().expect("binary tree");
+            out.push(sums[left] - sums[right]);
+        }
+        out
+    }
+
+    /// Inverse transform: recovers the `n` leaf counts from coefficients.
+    pub fn reconstruct(&self, coefficients: &[f64], domain_size: usize) -> Vec<f64> {
+        let shape = self.shape(domain_size);
+        let first_leaf = shape.leaf_node(0);
+        assert_eq!(
+            coefficients.len(),
+            first_leaf + 1,
+            "coefficient vector must hold total + one difference per internal node"
+        );
+        let mut sums = vec![0.0f64; shape.nodes()];
+        sums[0] = coefficients[0];
+        for v in 0..first_leaf {
+            let total = sums[v];
+            let diff = coefficients[v + 1];
+            let mut child = shape.children(v);
+            let left = child.next().expect("internal node has children");
+            let right = child.next().expect("binary tree");
+            sums[left] = (total + diff) / 2.0;
+            sums[right] = (total - diff) / 2.0;
+        }
+        sums[first_leaf..first_leaf + domain_size].to_vec()
+    }
+}
+
+impl QuerySequence for HaarQuery {
+    fn output_len(&self, domain_size: usize) -> usize {
+        // total + one coefficient per internal node = leaves of padded tree.
+        self.shape(domain_size).leaf_node(0) + 1
+    }
+
+    fn evaluate(&self, histogram: &Histogram) -> Vec<f64> {
+        self.transform(&histogram.counts_f64())
+    }
+
+    fn sensitivity(&self, domain_size: usize) -> f64 {
+        // c₀ plus one difference coefficient per internal level.
+        self.shape(domain_size).height() as f64
+    }
+
+    fn label(&self) -> String {
+        "W".to_owned()
+    }
+}
+
+/// The wavelet pipeline: release noisy Haar coefficients, reconstruct, and
+/// answer range queries.
+#[derive(Debug, Clone, Copy)]
+pub struct WaveletUniversal {
+    epsilon: Epsilon,
+}
+
+impl WaveletUniversal {
+    /// A pipeline calibrated to `epsilon`.
+    pub fn new(epsilon: Epsilon) -> Self {
+        Self { epsilon }
+    }
+
+    /// Releases noisy coefficients and reconstructs the histogram estimate.
+    pub fn release<R: Rng + ?Sized>(&self, histogram: &Histogram, rng: &mut R) -> WaveletRelease {
+        let query = HaarQuery;
+        let mut coefficients = query.evaluate(histogram);
+        let scale = query.sensitivity(histogram.len()) / self.epsilon.value();
+        let laplace = Laplace::centered(scale).expect("positive scale");
+        for c in &mut coefficients {
+            *c += laplace.sample(rng);
+        }
+        let leaves = query.reconstruct(&coefficients, histogram.len());
+        WaveletRelease::from_leaves(self.epsilon, leaves)
+    }
+}
+
+/// A reconstructed wavelet estimate with prefix-sum range queries.
+#[derive(Debug, Clone)]
+pub struct WaveletRelease {
+    epsilon: Epsilon,
+    leaves: Vec<f64>,
+    prefix: Vec<f64>,
+}
+
+impl WaveletRelease {
+    fn from_leaves(epsilon: Epsilon, leaves: Vec<f64>) -> Self {
+        let mut prefix = Vec::with_capacity(leaves.len() + 1);
+        prefix.push(0.0);
+        for (i, &v) in leaves.iter().enumerate() {
+            prefix.push(prefix[i] + v);
+        }
+        Self {
+            epsilon,
+            leaves,
+            prefix,
+        }
+    }
+
+    /// The ε the release was calibrated to.
+    pub fn epsilon(&self) -> Epsilon {
+        self.epsilon
+    }
+
+    /// The reconstructed unit-count estimates.
+    pub fn leaves(&self) -> &[f64] {
+        &self.leaves
+    }
+
+    /// Answers `c([lo, hi])` from the reconstruction.
+    pub fn range_query(&self, interval: Interval) -> f64 {
+        assert!(
+            interval.hi() < self.leaves.len(),
+            "query {interval} outside domain of size {}",
+            self.leaves.len()
+        );
+        self.prefix[interval.hi() + 1] - self.prefix[interval.lo()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hc_data::Domain;
+    use hc_mech::empirical_sensitivity;
+    use hc_noise::rng_from_seed;
+
+    fn example() -> Histogram {
+        Histogram::from_counts(Domain::new("src", 4).unwrap(), vec![2, 0, 10, 2])
+    }
+
+    #[test]
+    fn transform_of_paper_example() {
+        // counts ⟨2,0,10,2⟩: total 14; root diff (2+0)−(10+2) = −10;
+        // then 2−0 = 2 and 10−2 = 8.
+        let c = HaarQuery.transform(&[2.0, 0.0, 10.0, 2.0]);
+        assert_eq!(c, vec![14.0, -10.0, 2.0, 8.0]);
+    }
+
+    #[test]
+    fn transform_round_trips() {
+        let counts = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+        let c = HaarQuery.transform(&counts);
+        let back = HaarQuery.reconstruct(&c, 8);
+        for (a, b) in back.iter().zip(&counts) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn round_trip_with_padding() {
+        let counts = [7.0, 2.0, 5.0]; // pads to 4
+        let c = HaarQuery.transform(&counts);
+        let back = HaarQuery.reconstruct(&c, 3);
+        assert_eq!(back.len(), 3);
+        for (a, b) in back.iter().zip(&counts) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sensitivity_matches_binary_h() {
+        // Both strategies have Δ = log₂ n + 1.
+        assert_eq!(HaarQuery.sensitivity(4), 3.0);
+        assert_eq!(HaarQuery.sensitivity(1024), 11.0);
+    }
+
+    #[test]
+    fn empirical_sensitivity_confirms_analysis() {
+        let d = Domain::new("x", 8).unwrap();
+        let r = hc_data::Relation::from_records(d, vec![0, 1, 1, 3, 5, 5, 5, 7]).unwrap();
+        let s = empirical_sensitivity(&HaarQuery, &r);
+        assert!(
+            (s - HaarQuery.sensitivity(8)).abs() < 1e-12,
+            "empirical {s}"
+        );
+    }
+
+    #[test]
+    fn noiseless_release_answers_ranges_exactly() {
+        // Zero-noise path via direct transform/reconstruct.
+        let h = example();
+        let c = HaarQuery.transform(&h.counts_f64());
+        let leaves = HaarQuery.reconstruct(&c, 4);
+        let rel = WaveletRelease::from_leaves(Epsilon::new(1.0).unwrap(), leaves);
+        assert!((rel.range_query(Interval::new(0, 3)) - 14.0).abs() < 1e-12);
+        assert!((rel.range_query(Interval::new(2, 2)) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_release_is_unbiased() {
+        let h = example();
+        let w = WaveletUniversal::new(Epsilon::new(1.0).unwrap());
+        let mut rng = rng_from_seed(111);
+        let trials = 2000;
+        let mut acc = [0.0; 4];
+        for _ in 0..trials {
+            let rel = w.release(&h, &mut rng);
+            for (a, v) in acc.iter_mut().zip(rel.leaves()) {
+                *a += v;
+            }
+        }
+        for (a, t) in acc.iter().zip(h.counts_f64()) {
+            let mean = a / trials as f64;
+            assert!((mean - t).abs() < 0.5, "mean {mean} vs {t}");
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Small dense + sparse linear-algebra substrate.
+//!
+//! The paper's constrained-inference estimators have closed-form solutions
+//! (Theorems 1 and 3), but both are characterized as least-squares problems:
+//! isotonic regression and ordinary least squares over the tree aggregation
+//! matrix. This crate provides an independent, generic solver stack so the
+//! closed forms can be *verified* rather than trusted:
+//!
+//! * [`Matrix`] — dense row-major matrices with the usual operations.
+//! * [`lu`] — LU decomposition with partial pivoting; [`Matrix::solve`] and
+//!   [`Matrix::inverse`] build on it.
+//! * [`cholesky`] — Cholesky factorization for the SPD normal equations.
+//! * [`lstsq`] — ordinary least squares `min ‖Ax − b‖₂` via normal equations.
+//! * [`CsrMatrix`] + [`conjugate_gradient`] — sparse path for medium-size
+//!   verification where forming dense `AᵀA` is wasteful.
+//!
+//! It also powers the matrix-mechanism analysis in `hc-ext`, which computes
+//! exact expected errors of query strategies (Li et al., PODS 2010 view).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cg;
+mod chol;
+mod lstsq;
+mod lu;
+mod matrix;
+mod sparse;
+
+pub use cg::{conjugate_gradient, CgOptions, CgOutcome};
+pub use chol::cholesky;
+pub use lstsq::{lstsq, lstsq_weighted};
+pub use lu::{lu, LuDecomposition};
+pub use matrix::Matrix;
+pub use sparse::CsrMatrix;
+
+/// Errors produced by decompositions and solvers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinalgError {
+    /// Dimensions of the operands are incompatible.
+    ShapeMismatch {
+        /// Human-readable description of the mismatch.
+        context: &'static str,
+    },
+    /// The matrix is singular (or numerically so) at the given pivot.
+    Singular {
+        /// Pivot index where elimination failed.
+        pivot: usize,
+    },
+    /// The matrix is not positive definite (Cholesky failed at `pivot`).
+    NotPositiveDefinite {
+        /// Row index where factorization failed.
+        pivot: usize,
+    },
+    /// An iterative solver did not converge within its iteration budget.
+    DidNotConverge {
+        /// Number of iterations performed.
+        iterations: usize,
+        /// Final residual norm.
+        residual: f64,
+    },
+}
+
+impl core::fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            LinalgError::ShapeMismatch { context } => write!(f, "shape mismatch: {context}"),
+            LinalgError::Singular { pivot } => write!(f, "singular matrix at pivot {pivot}"),
+            LinalgError::NotPositiveDefinite { pivot } => {
+                write!(f, "matrix not positive definite at row {pivot}")
+            }
+            LinalgError::DidNotConverge {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "iterative solver did not converge after {iterations} iterations (residual {residual:e})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}

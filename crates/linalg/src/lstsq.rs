@@ -1,0 +1,134 @@
+//! Ordinary (and weighted) least squares via normal equations.
+
+use crate::{cholesky, LinalgError, Matrix};
+
+/// Solves `min_x ‖A x − b‖₂` for a full-column-rank `A`.
+///
+/// Forms the normal equations `AᵀA x = Aᵀ b` and factors the Gram matrix with
+/// Cholesky. This is exactly the estimator Theorem 3 of the paper
+/// characterizes in closed form when `A` is the hierarchical aggregation
+/// matrix; the integration tests use this generic path to validate the
+/// closed form.
+///
+/// # Errors
+///
+/// * [`LinalgError::ShapeMismatch`] if `b.len() != A.rows()`.
+/// * [`LinalgError::NotPositiveDefinite`] if `A` is column-rank deficient.
+pub fn lstsq(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    if b.len() != a.rows() {
+        return Err(LinalgError::ShapeMismatch {
+            context: "lstsq right-hand side length",
+        });
+    }
+    let gram = a.gram();
+    let rhs = a.transpose_matvec(b)?;
+    cholesky(&gram)?.solve(&rhs)
+}
+
+/// Weighted least squares `min_x ‖W^{1/2}(A x − b)‖₂` with per-row weights.
+///
+/// Weights must be positive. Used to validate the inference step when noise
+/// scales differ across queries (e.g. mixed-sensitivity strategies in the
+/// matrix-mechanism ablation).
+pub fn lstsq_weighted(a: &Matrix, b: &[f64], weights: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    if b.len() != a.rows() || weights.len() != a.rows() {
+        return Err(LinalgError::ShapeMismatch {
+            context: "lstsq_weighted operand lengths",
+        });
+    }
+    // Form AᵀWA and AᵀWb directly.
+    let n = a.cols();
+    let mut gram = Matrix::zeros(n, n);
+    let mut rhs = vec![0.0; n];
+    for i in 0..a.rows() {
+        let w = weights[i];
+        let row = a.row(i);
+        for (j, &aj) in row.iter().enumerate() {
+            if aj == 0.0 {
+                continue;
+            }
+            let waj = w * aj;
+            rhs[j] += waj * b[i];
+            for (k, &ak) in row.iter().enumerate().skip(j) {
+                gram[(j, k)] += waj * ak;
+            }
+        }
+    }
+    for j in 0..n {
+        for k in (j + 1)..n {
+            gram[(k, j)] = gram[(j, k)];
+        }
+    }
+    cholesky(&gram)?.solve(&rhs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_system_recovers_solution() {
+        let a = Matrix::from_rows(3, 2, vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0]);
+        let x_true = [2.0, -1.0];
+        let b = a.matvec(&x_true).unwrap();
+        let x = lstsq(&a, &b).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn simple_regression_line() {
+        // Fit y = c0 + c1 t through (0,1), (1,3), (2,5): exact line 1 + 2t.
+        let a = Matrix::from_rows(3, 2, vec![1.0, 0.0, 1.0, 1.0, 1.0, 2.0]);
+        let x = lstsq(&a, &[1.0, 3.0, 5.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overdetermined_minimizes_residual() {
+        // Average of observations is the L2-best constant fit.
+        let a = Matrix::from_rows(4, 1, vec![1.0, 1.0, 1.0, 1.0]);
+        let x = lstsq(&a, &[1.0, 2.0, 3.0, 6.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn residual_is_orthogonal_to_column_space() {
+        let a = Matrix::from_rows(4, 2, vec![1.0, 2.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0]);
+        let b = [3.0, 1.0, -2.0, 0.5];
+        let x = lstsq(&a, &b).unwrap();
+        let ax = a.matvec(&x).unwrap();
+        let r: Vec<f64> = b.iter().zip(&ax).map(|(u, v)| u - v).collect();
+        let atr = a.transpose_matvec(&r).unwrap();
+        for v in atr {
+            assert!(v.abs() < 1e-10, "Aᵀr component {v}");
+        }
+    }
+
+    #[test]
+    fn rank_deficient_is_detected() {
+        let a = Matrix::from_rows(3, 2, vec![1.0, 1.0, 2.0, 2.0, 3.0, 3.0]);
+        assert!(lstsq(&a, &[1.0, 2.0, 3.0]).is_err());
+    }
+
+    #[test]
+    fn unit_weights_match_ols() {
+        let a = Matrix::from_rows(4, 2, vec![1.0, 2.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0]);
+        let b = [3.0, 1.0, -2.0, 0.5];
+        let x1 = lstsq(&a, &b).unwrap();
+        let x2 = lstsq_weighted(&a, &b, &[1.0; 4]).unwrap();
+        for (u, v) in x1.iter().zip(&x2) {
+            assert!((u - v).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn zero_weight_limit_ignores_row() {
+        // Heavily down-weighting an outlier should approach the fit without it.
+        let a = Matrix::from_rows(3, 1, vec![1.0, 1.0, 1.0]);
+        let b = [1.0, 1.0, 100.0];
+        let x = lstsq_weighted(&a, &b, &[1.0, 1.0, 1e-12]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-6, "x = {}", x[0]);
+    }
+}

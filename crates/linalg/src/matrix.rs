@@ -1,0 +1,325 @@
+//! Dense row-major matrices.
+
+use crate::LinalgError;
+
+/// A dense `rows × cols` matrix of `f64`, stored row-major.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// A matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// The `n × n` identity.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from row-major data. Panics if `data.len() != rows * cols`.
+    pub fn from_rows(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "row-major data length mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// Builds a matrix by evaluating `f(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Borrow of the underlying row-major data.
+    #[inline]
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// A single row as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// The transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(j, i)] = self[(i, j)];
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self * rhs`.
+    ///
+    /// # Errors
+    /// [`LinalgError::ShapeMismatch`] if inner dimensions differ.
+    pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix, LinalgError> {
+        if self.cols != rhs.rows {
+            return Err(LinalgError::ShapeMismatch {
+                context: "matmul inner dimensions",
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        // i-k-j loop order keeps the inner loop contiguous in both operands.
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                let rhs_row = rhs.row(k);
+                let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                for (o, &r) in out_row.iter_mut().zip(rhs_row) {
+                    *o += a * r;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix–vector product `self * x`.
+    pub fn matvec(&self, x: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        if self.cols != x.len() {
+            return Err(LinalgError::ShapeMismatch {
+                context: "matvec dimensions",
+            });
+        }
+        Ok((0..self.rows)
+            .map(|i| self.row(i).iter().zip(x).map(|(a, b)| a * b).sum())
+            .collect())
+    }
+
+    /// `Aᵀ x` without materializing the transpose.
+    pub fn transpose_matvec(&self, x: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        if self.rows != x.len() {
+            return Err(LinalgError::ShapeMismatch {
+                context: "transpose_matvec dimensions",
+            });
+        }
+        let mut out = vec![0.0; self.cols];
+        for (i, &xi) in x.iter().enumerate() {
+            if xi == 0.0 {
+                continue;
+            }
+            for (o, &a) in out.iter_mut().zip(self.row(i)) {
+                *o += a * xi;
+            }
+        }
+        Ok(out)
+    }
+
+    /// The Gram matrix `Aᵀ A` (symmetric positive semidefinite).
+    pub fn gram(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.cols);
+        for i in 0..self.rows {
+            let row = self.row(i);
+            for (j, &aj) in row.iter().enumerate() {
+                if aj == 0.0 {
+                    continue;
+                }
+                for (k, &ak) in row.iter().enumerate().skip(j) {
+                    out[(j, k)] += aj * ak;
+                }
+            }
+        }
+        // Mirror the upper triangle.
+        for j in 0..self.cols {
+            for k in (j + 1)..self.cols {
+                out[(k, j)] = out[(j, k)];
+            }
+        }
+        out
+    }
+
+    /// Solves `self * x = b` via LU with partial pivoting.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        crate::lu(self)?.solve(b)
+    }
+
+    /// The inverse, via LU solves against the identity.
+    pub fn inverse(&self) -> Result<Matrix, LinalgError> {
+        if self.rows != self.cols {
+            return Err(LinalgError::ShapeMismatch {
+                context: "inverse of non-square matrix",
+            });
+        }
+        let n = self.rows;
+        let decomp = crate::lu(self)?;
+        let mut out = Matrix::zeros(n, n);
+        let mut e = vec![0.0; n];
+        for j in 0..n {
+            e[j] = 1.0;
+            let col = decomp.solve(&e)?;
+            for i in 0..n {
+                out[(i, j)] = col[i];
+            }
+            e[j] = 0.0;
+        }
+        Ok(out)
+    }
+
+    /// Trace (sum of diagonal entries) of a square matrix.
+    pub fn trace(&self) -> f64 {
+        assert_eq!(self.rows, self.cols, "trace of non-square matrix");
+        (0..self.rows).map(|i| self[(i, i)]).sum()
+    }
+
+    /// Maximum absolute column sum — the operator 1-norm `‖A‖₁`.
+    ///
+    /// For a 0/1 query strategy matrix this equals its L1 sensitivity, the
+    /// quantity the Laplace mechanism calibrates to.
+    pub fn norm_l1(&self) -> f64 {
+        (0..self.cols)
+            .map(|j| (0..self.rows).map(|i| self[(i, j)].abs()).sum())
+            .fold(0.0, f64::max)
+    }
+
+    /// Frobenius norm.
+    pub fn norm_frobenius(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Elementwise maximum absolute difference to `other`. Panics on shape
+    /// mismatch (intended for tests).
+    pub fn max_abs_diff(&self, other: &Matrix) -> f64 {
+        assert_eq!(self.rows, other.rows);
+        assert_eq!(self.cols, other.cols);
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+impl core::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl core::ops::IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Matrix {
+        Matrix::from_rows(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0])
+    }
+
+    #[test]
+    fn indexing_is_row_major() {
+        let m = sample();
+        assert_eq!(m[(0, 0)], 1.0);
+        assert_eq!(m[(0, 2)], 3.0);
+        assert_eq!(m[(1, 0)], 4.0);
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn transpose_round_trips() {
+        let m = sample();
+        assert_eq!(m.transpose().transpose(), m);
+        assert_eq!(m.transpose()[(2, 1)], 6.0);
+    }
+
+    #[test]
+    fn matmul_matches_hand_computation() {
+        let a = sample(); // 2x3
+        let b = Matrix::from_rows(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(
+            c,
+            Matrix::from_rows(2, 2, vec![58.0, 64.0, 139.0, 154.0])
+        );
+    }
+
+    #[test]
+    fn matmul_rejects_bad_shapes() {
+        let a = sample();
+        assert!(a.matmul(&sample()).is_err());
+    }
+
+    #[test]
+    fn matvec_and_transpose_matvec_agree_with_matmul() {
+        let a = sample();
+        let x = vec![1.0, -1.0, 2.0];
+        assert_eq!(a.matvec(&x).unwrap(), vec![5.0, 11.0]);
+        let y = vec![1.0, 1.0];
+        assert_eq!(a.transpose_matvec(&y).unwrap(), vec![5.0, 7.0, 9.0]);
+    }
+
+    #[test]
+    fn gram_equals_explicit_product() {
+        let a = sample();
+        let explicit = a.transpose().matmul(&a).unwrap();
+        assert!(a.gram().max_abs_diff(&explicit) < 1e-12);
+    }
+
+    #[test]
+    fn identity_is_multiplicative_unit() {
+        let a = sample();
+        let i3 = Matrix::identity(3);
+        assert!(a.matmul(&i3).unwrap().max_abs_diff(&a) < 1e-15);
+    }
+
+    #[test]
+    fn inverse_of_known_matrix() {
+        let m = Matrix::from_rows(2, 2, vec![4.0, 7.0, 2.0, 6.0]);
+        let inv = m.inverse().unwrap();
+        let expected = Matrix::from_rows(2, 2, vec![0.6, -0.7, -0.2, 0.4]);
+        assert!(inv.max_abs_diff(&expected) < 1e-12);
+        assert!(m.matmul(&inv).unwrap().max_abs_diff(&Matrix::identity(2)) < 1e-12);
+    }
+
+    #[test]
+    fn norms_and_trace() {
+        let m = Matrix::from_rows(2, 2, vec![1.0, -2.0, 3.0, 4.0]);
+        assert_eq!(m.trace(), 5.0);
+        assert_eq!(m.norm_l1(), 6.0); // column 1: |−2| + |4| = 6
+        assert!((m.norm_frobenius() - (30.0f64).sqrt()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,211 @@
+//! Compressed sparse row matrices.
+
+use crate::{LinalgError, Matrix};
+
+/// A sparse matrix in CSR (compressed sparse row) form.
+///
+/// The hierarchical aggregation matrix of the paper's `H` query has only
+/// `n · ℓ` nonzeros for `m ≈ 2n` rows, so the verification path for
+/// medium-size trees uses this representation with conjugate gradient rather
+/// than a dense Gram matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Builds a CSR matrix from `(row, col, value)` triplets.
+    ///
+    /// Triplets may be in any order; duplicates are summed. Entries out of
+    /// bounds panic (construction bug, not a runtime condition).
+    pub fn from_triplets(
+        rows: usize,
+        cols: usize,
+        triplets: impl IntoIterator<Item = (usize, usize, f64)>,
+    ) -> Self {
+        let mut entries: Vec<(usize, usize, f64)> = triplets.into_iter().collect();
+        for &(r, c, _) in &entries {
+            assert!(r < rows && c < cols, "triplet ({r},{c}) out of bounds");
+        }
+        entries.sort_unstable_by_key(|&(r, c, _)| (r, c));
+
+        let mut row_ptr = vec![0usize; rows + 1];
+        let mut col_idx = Vec::with_capacity(entries.len());
+        let mut values = Vec::with_capacity(entries.len());
+        for (r, c, v) in entries {
+            if let (Some(&last_c), Some(last_v)) = (col_idx.last(), values.last_mut()) {
+                if row_ptr[r + 1] > 0 && last_c == c && col_idx.len() > row_ptr[r] {
+                    // Same row (we're still filling row r) and same column:
+                    // merge duplicate.
+                    *last_v += v;
+                    continue;
+                }
+            }
+            col_idx.push(c);
+            values.push(v);
+            row_ptr[r + 1] = col_idx.len();
+        }
+        // Rows with no entries inherit the previous pointer.
+        for r in 1..=rows {
+            if row_ptr[r] < row_ptr[r - 1] {
+                row_ptr[r] = row_ptr[r - 1];
+            }
+        }
+        Self {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Sparse matrix–vector product `A x`.
+    pub fn matvec(&self, x: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        if x.len() != self.cols {
+            return Err(LinalgError::ShapeMismatch {
+                context: "CSR matvec dimensions",
+            });
+        }
+        let mut out = vec![0.0; self.rows];
+        for (r, slot) in out.iter_mut().enumerate() {
+            let span = self.row_ptr[r]..self.row_ptr[r + 1];
+            *slot = self.col_idx[span.clone()]
+                .iter()
+                .zip(&self.values[span])
+                .map(|(&c, &v)| v * x[c])
+                .sum();
+        }
+        Ok(out)
+    }
+
+    /// Transposed product `Aᵀ x`.
+    pub fn transpose_matvec(&self, x: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        if x.len() != self.rows {
+            return Err(LinalgError::ShapeMismatch {
+                context: "CSR transpose_matvec dimensions",
+            });
+        }
+        let mut out = vec![0.0; self.cols];
+        for (r, &xr) in x.iter().enumerate() {
+            if xr == 0.0 {
+                continue;
+            }
+            let span = self.row_ptr[r]..self.row_ptr[r + 1];
+            for (&c, &v) in self.col_idx[span.clone()].iter().zip(&self.values[span]) {
+                out[c] += v * xr;
+            }
+        }
+        Ok(out)
+    }
+
+    /// The Gram operator `x ↦ Aᵀ(Ax)` as a closure, for iterative solvers.
+    pub fn gram_operator(&self) -> impl Fn(&[f64]) -> Vec<f64> + '_ {
+        move |x| {
+            let ax = self.matvec(x).expect("dimension checked by caller");
+            self.transpose_matvec(&ax).expect("dimension consistent")
+        }
+    }
+
+    /// Densifies (for tests and small problems).
+    pub fn to_dense(&self) -> Matrix {
+        let mut m = Matrix::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            let span = self.row_ptr[r]..self.row_ptr[r + 1];
+            for (&c, &v) in self.col_idx[span.clone()].iter().zip(&self.values[span]) {
+                m[(r, c)] += v;
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example() -> CsrMatrix {
+        // [ 1 0 2 ]
+        // [ 0 0 0 ]
+        // [ 3 4 0 ]
+        CsrMatrix::from_triplets(3, 3, vec![(0, 0, 1.0), (2, 1, 4.0), (0, 2, 2.0), (2, 0, 3.0)])
+    }
+
+    #[test]
+    fn construction_sorts_and_counts() {
+        let m = example();
+        assert_eq!(m.nnz(), 4);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 3);
+    }
+
+    #[test]
+    fn matvec_matches_dense() {
+        let m = example();
+        let x = [1.0, 2.0, 3.0];
+        assert_eq!(m.matvec(&x).unwrap(), m.to_dense().matvec(&x).unwrap());
+    }
+
+    #[test]
+    fn transpose_matvec_matches_dense() {
+        let m = example();
+        let x = [1.0, -1.0, 0.5];
+        let dense = m.to_dense().transpose_matvec(&x).unwrap();
+        let sparse = m.transpose_matvec(&x).unwrap();
+        for (a, b) in sparse.iter().zip(&dense) {
+            assert!((a - b).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn duplicate_triplets_are_summed() {
+        let m = CsrMatrix::from_triplets(1, 1, vec![(0, 0, 1.0), (0, 0, 2.5)]);
+        assert_eq!(m.to_dense()[(0, 0)], 3.5);
+        assert_eq!(m.nnz(), 1);
+    }
+
+    #[test]
+    fn empty_rows_are_fine() {
+        let m = example();
+        assert_eq!(m.matvec(&[1.0, 1.0, 1.0]).unwrap()[1], 0.0);
+    }
+
+    #[test]
+    fn gram_operator_equals_dense_gram() {
+        let m = example();
+        let x = [0.3, -1.2, 2.0];
+        let via_op = m.gram_operator()(&x);
+        let via_dense = m.to_dense().gram().matvec(&x).unwrap();
+        for (a, b) in via_op.iter().zip(&via_dense) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_triplet_panics() {
+        let _ = CsrMatrix::from_triplets(2, 2, vec![(2, 0, 1.0)]);
+    }
+}

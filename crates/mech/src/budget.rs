@@ -1,0 +1,179 @@
+//! Privacy parameters and sequential composition.
+
+/// Errors produced by budget operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BudgetError {
+    /// ε must be finite and strictly positive.
+    InvalidEpsilon {
+        /// The rejected value.
+        value: f64,
+    },
+    /// A spend would exceed the remaining budget.
+    Exhausted {
+        /// Amount requested.
+        requested: f64,
+        /// Amount remaining.
+        remaining: f64,
+    },
+}
+
+impl core::fmt::Display for BudgetError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            BudgetError::InvalidEpsilon { value } => write!(f, "invalid epsilon {value}"),
+            BudgetError::Exhausted {
+                requested,
+                remaining,
+            } => write!(
+                f,
+                "privacy budget exhausted: requested {requested}, remaining {remaining}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BudgetError {}
+
+/// A validated privacy parameter `ε > 0`.
+///
+/// Smaller ε means more privacy and more noise; the paper evaluates
+/// `ε ∈ {1.0, 0.1, 0.01}`.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Epsilon(f64);
+
+impl Epsilon {
+    /// Validates and wraps an ε value.
+    pub fn new(value: f64) -> Result<Self, BudgetError> {
+        if !value.is_finite() || value <= 0.0 {
+            return Err(BudgetError::InvalidEpsilon { value });
+        }
+        Ok(Self(value))
+    }
+
+    /// The raw value.
+    #[inline]
+    pub fn value(&self) -> f64 {
+        self.0
+    }
+
+    /// Splits the budget into `parts` equal shares (sequential composition in
+    /// reverse: running each share-protocol once composes back to `self`).
+    pub fn split(&self, parts: usize) -> Vec<Epsilon> {
+        assert!(parts > 0, "cannot split into zero parts");
+        vec![Epsilon(self.0 / parts as f64); parts]
+    }
+}
+
+impl core::fmt::Display for Epsilon {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "ε={}", self.0)
+    }
+}
+
+/// A mutable privacy-budget account implementing sequential composition.
+///
+/// The paper (Sec. 2.1): "the protocol that computes an εᵢ-differentially
+/// private response to the i-th sequence is (Σᵢεᵢ)-differentially private."
+/// The account enforces that total.
+#[derive(Debug, Clone)]
+pub struct PrivacyBudget {
+    total: f64,
+    spent: f64,
+    ledger: Vec<(String, f64)>,
+}
+
+impl PrivacyBudget {
+    /// Opens an account with the given total ε.
+    pub fn new(total: Epsilon) -> Self {
+        Self {
+            total: total.value(),
+            spent: 0.0,
+            ledger: Vec::new(),
+        }
+    }
+
+    /// Attempts to spend `amount` for a release labelled `purpose`.
+    pub fn spend(&mut self, purpose: impl Into<String>, amount: Epsilon) -> Result<Epsilon, BudgetError> {
+        let a = amount.value();
+        // Tolerate float dust from equal splits summing to the total.
+        if self.spent + a > self.total * (1.0 + 1e-12) {
+            return Err(BudgetError::Exhausted {
+                requested: a,
+                remaining: self.remaining(),
+            });
+        }
+        self.spent += a;
+        self.ledger.push((purpose.into(), a));
+        Ok(amount)
+    }
+
+    /// Budget not yet spent.
+    pub fn remaining(&self) -> f64 {
+        (self.total - self.spent).max(0.0)
+    }
+
+    /// Total spent so far — by sequential composition, the privacy level of
+    /// everything released against this account.
+    pub fn spent(&self) -> f64 {
+        self.spent
+    }
+
+    /// The release ledger: `(purpose, ε)` pairs in spend order.
+    pub fn ledger(&self) -> &[(String, f64)] {
+        &self.ledger
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epsilon_validation() {
+        assert!(Epsilon::new(0.1).is_ok());
+        assert!(Epsilon::new(0.0).is_err());
+        assert!(Epsilon::new(-1.0).is_err());
+        assert!(Epsilon::new(f64::INFINITY).is_err());
+        assert!(Epsilon::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn split_shares_sum_to_whole() {
+        let e = Epsilon::new(1.0).unwrap();
+        let parts = e.split(4);
+        assert_eq!(parts.len(), 4);
+        let total: f64 = parts.iter().map(|p| p.value()).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn budget_accounts_for_spending() {
+        let mut b = PrivacyBudget::new(Epsilon::new(1.0).unwrap());
+        b.spend("hist-1", Epsilon::new(0.4).unwrap()).unwrap();
+        b.spend("hist-2", Epsilon::new(0.6).unwrap()).unwrap();
+        assert!(b.remaining() < 1e-12);
+        assert_eq!(b.ledger().len(), 2);
+        assert!((b.spent() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overspend_is_rejected() {
+        let mut b = PrivacyBudget::new(Epsilon::new(0.5).unwrap());
+        b.spend("a", Epsilon::new(0.3).unwrap()).unwrap();
+        let err = b.spend("b", Epsilon::new(0.3).unwrap()).unwrap_err();
+        assert!(matches!(err, BudgetError::Exhausted { .. }));
+        // Failed spends do not mutate the account.
+        assert!((b.spent() - 0.3).abs() < 1e-12);
+        assert_eq!(b.ledger().len(), 1);
+    }
+
+    #[test]
+    fn equal_split_spends_exactly_exhaust() {
+        let total = Epsilon::new(1.0).unwrap();
+        let mut b = PrivacyBudget::new(total);
+        for (i, part) in total.split(3).into_iter().enumerate() {
+            b.spend(format!("part-{i}"), part).unwrap();
+        }
+        assert!(b.remaining() < 1e-9);
+    }
+}

@@ -1,0 +1,181 @@
+//! The Laplace mechanism over query sequences (Proposition 1).
+
+use hc_data::Histogram;
+use hc_noise::Laplace;
+use rand::Rng;
+
+use crate::{Epsilon, QuerySequence};
+
+/// The ε-differentially private release of a query sequence's output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NoisyOutput {
+    values: Vec<f64>,
+    epsilon: Epsilon,
+    noise_scale: f64,
+    strategy: String,
+}
+
+impl NoisyOutput {
+    /// The noisy answer vector `q̃ = Q(I) + ⟨Lap(Δ/ε)⟩`.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Consumes the release, returning the answer vector.
+    pub fn into_values(self) -> Vec<f64> {
+        self.values
+    }
+
+    /// The privacy parameter the release was calibrated to.
+    pub fn epsilon(&self) -> Epsilon {
+        self.epsilon
+    }
+
+    /// The Laplace scale `b = Δ/ε` actually used.
+    pub fn noise_scale(&self) -> f64 {
+        self.noise_scale
+    }
+
+    /// Per-answer noise variance `2b²`.
+    pub fn noise_variance(&self) -> f64 {
+        2.0 * self.noise_scale * self.noise_scale
+    }
+
+    /// The strategy label (`"L"`, `"S"`, `"H2"`, …).
+    pub fn strategy(&self) -> &str {
+        &self.strategy
+    }
+}
+
+/// The Laplace mechanism: adds i.i.d. `Lap(Δ_Q/ε)` noise to each answer of a
+/// query sequence (Proposition 1 — this step alone provides the privacy
+/// guarantee; everything downstream is post-processing).
+#[derive(Debug, Clone, Copy)]
+pub struct LaplaceMechanism {
+    epsilon: Epsilon,
+}
+
+impl LaplaceMechanism {
+    /// A mechanism calibrated to `epsilon`.
+    pub fn new(epsilon: Epsilon) -> Self {
+        Self { epsilon }
+    }
+
+    /// The configured ε.
+    pub fn epsilon(&self) -> Epsilon {
+        self.epsilon
+    }
+
+    /// Releases `Q̃(I) = Q(I) + ⟨Lap(Δ_Q/ε)⟩^d`.
+    pub fn release<Q: QuerySequence + ?Sized, R: Rng + ?Sized>(
+        &self,
+        query: &Q,
+        histogram: &Histogram,
+        rng: &mut R,
+    ) -> NoisyOutput {
+        let mut values = query.evaluate(histogram);
+        let sensitivity = query.sensitivity(histogram.len());
+        let scale = sensitivity / self.epsilon.value();
+        let laplace = Laplace::centered(scale).expect("positive scale from valid ε");
+        for v in &mut values {
+            *v += laplace.sample(rng);
+        }
+        NoisyOutput {
+            values,
+            epsilon: self.epsilon,
+            noise_scale: scale,
+            strategy: query.label(),
+        }
+    }
+
+    /// The true (noise-free) evaluation — used by tests and the theoretical
+    /// error calculators; *not* a private release.
+    pub fn true_answer<Q: QuerySequence + ?Sized>(
+        &self,
+        query: &Q,
+        histogram: &Histogram,
+    ) -> Vec<f64> {
+        query.evaluate(histogram)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{HierarchicalQuery, SortedQuery, UnitQuery};
+    use hc_data::Domain;
+    use hc_noise::rng_from_seed;
+
+    fn example() -> Histogram {
+        Histogram::from_counts(Domain::new("src", 4).unwrap(), vec![2, 0, 10, 2])
+    }
+
+    #[test]
+    fn noise_scale_uses_sensitivity() {
+        let mech = LaplaceMechanism::new(Epsilon::new(0.5).unwrap());
+        let mut rng = rng_from_seed(61);
+        let out_l = mech.release(&UnitQuery, &example(), &mut rng);
+        assert!((out_l.noise_scale() - 2.0).abs() < 1e-12); // Δ=1, ε=0.5
+        let out_h = mech.release(&HierarchicalQuery::binary(), &example(), &mut rng);
+        assert!((out_h.noise_scale() - 6.0).abs() < 1e-12); // Δ=ℓ=3, ε=0.5
+    }
+
+    #[test]
+    fn release_has_right_length_and_label() {
+        let mech = LaplaceMechanism::new(Epsilon::new(1.0).unwrap());
+        let mut rng = rng_from_seed(62);
+        let out = mech.release(&HierarchicalQuery::binary(), &example(), &mut rng);
+        assert_eq!(out.values().len(), 7);
+        assert_eq!(out.strategy(), "H2");
+    }
+
+    #[test]
+    fn noise_is_centered_on_true_answer() {
+        let mech = LaplaceMechanism::new(Epsilon::new(1.0).unwrap());
+        let truth = SortedQuery.evaluate(&example());
+        let trials = 3000;
+        let mut sums = vec![0.0; truth.len()];
+        let mut rng = rng_from_seed(63);
+        for _ in 0..trials {
+            for (s, v) in sums
+                .iter_mut()
+                .zip(mech.release(&SortedQuery, &example(), &mut rng).values())
+            {
+                *s += v;
+            }
+        }
+        for (s, t) in sums.iter().zip(&truth) {
+            let mean = s / trials as f64;
+            // std of mean = sqrt(2)/sqrt(3000) ≈ 0.026; allow 5σ.
+            assert!((mean - t).abs() < 0.15, "mean {mean} vs true {t}");
+        }
+    }
+
+    #[test]
+    fn empirical_variance_matches_calibration() {
+        let eps = Epsilon::new(0.1).unwrap();
+        let mech = LaplaceMechanism::new(eps);
+        let mut rng = rng_from_seed(64);
+        let truth = UnitQuery.evaluate(&example());
+        let trials = 5000;
+        let mut sq = 0.0;
+        for _ in 0..trials {
+            let out = mech.release(&UnitQuery, &example(), &mut rng);
+            sq += (out.values()[0] - truth[0]).powi(2);
+        }
+        let var = sq / trials as f64;
+        let expected = 2.0 / (0.1f64 * 0.1); // 2(Δ/ε)² = 200
+        assert!(
+            (var - expected).abs() / expected < 0.1,
+            "var {var} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mech = LaplaceMechanism::new(Epsilon::new(1.0).unwrap());
+        let a = mech.release(&UnitQuery, &example(), &mut rng_from_seed(65));
+        let b = mech.release(&UnitQuery, &example(), &mut rng_from_seed(65));
+        assert_eq!(a, b);
+    }
+}

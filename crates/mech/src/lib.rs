@@ -1,0 +1,36 @@
+//! Differential-privacy substrate: budgets, query sequences, sensitivity,
+//! and the Laplace mechanism.
+//!
+//! This crate implements Sec. 2 of the paper:
+//!
+//! * [`Epsilon`] / [`PrivacyBudget`] — the privacy parameter and sequential
+//!   composition (a protocol answering sequence *i* with `εᵢ` is
+//!   `Σεᵢ`-differentially private).
+//! * [`QuerySequence`] — the abstraction for the paper's vector-valued count
+//!   queries, with the three concrete strategies:
+//!   [`UnitQuery`] (`L`), [`SortedQuery`] (`S`, Sec. 3) and
+//!   [`HierarchicalQuery`] (`H`, Sec. 4).
+//! * Analytic sensitivities (Propositions 3 and 4) plus an
+//!   [`empirical_sensitivity`] bound used by tests to validate them.
+//! * [`LaplaceMechanism`] — Proposition 1: add i.i.d. `Lap(Δ/ε)` noise to
+//!   each true answer.
+//!
+//! Constrained inference (the paper's contribution) lives in `hc-core`; this
+//! crate releases the *noisy* outputs it post-processes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod budget;
+mod confidence;
+mod laplace_mech;
+mod query;
+mod sensitivity;
+pub mod sequences;
+
+pub use budget::{BudgetError, Epsilon, PrivacyBudget};
+pub use confidence::{laplace_half_width, ConfidenceInterval};
+pub use laplace_mech::{LaplaceMechanism, NoisyOutput};
+pub use query::QuerySequence;
+pub use sensitivity::empirical_sensitivity;
+pub use sequences::{HierarchicalQuery, SortedQuery, TreeShape, UnitQuery};

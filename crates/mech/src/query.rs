@@ -1,0 +1,24 @@
+//! The query-sequence abstraction.
+
+use hc_data::Histogram;
+
+/// A sequence of counting queries `Q = ⟨q₁, …, q_d⟩` over a histogram's
+/// domain (Sec. 2 of the paper).
+///
+/// Implementations must be *pure*: `evaluate` depends only on the histogram,
+/// and `sensitivity` is the analytic worst case
+/// `max ‖Q(I) − Q(I′)‖₁` over neighbouring databases (Definition 2.2). The
+/// test suite checks the analytic value against [`crate::empirical_sensitivity`].
+pub trait QuerySequence {
+    /// Number of answers produced for a histogram over `domain_size` bins.
+    fn output_len(&self, domain_size: usize) -> usize;
+
+    /// Evaluates the true answers `Q(I)`.
+    fn evaluate(&self, histogram: &Histogram) -> Vec<f64>;
+
+    /// The L1 sensitivity `Δ_Q`.
+    fn sensitivity(&self, domain_size: usize) -> f64;
+
+    /// A short strategy label used in reports (e.g. `"L"`, `"S"`, `"H2"`).
+    fn label(&self) -> String;
+}

@@ -1,0 +1,117 @@
+//! Empirical sensitivity bounds for validating the analytic formulas.
+
+use hc_data::{Histogram, Relation};
+
+use crate::QuerySequence;
+
+/// Computes the exact maximum `‖Q(I) − Q(I′)‖₁` over all neighbours `I′` of
+/// the *given* database `I` (one record added at any domain value, or one
+/// existing record removed).
+///
+/// This is a lower bound on the worst-case sensitivity `Δ_Q` (which maximizes
+/// over `I` too); the test suite checks
+/// `empirical ≤ analytic` on random databases and `empirical == analytic` on
+/// adversarially chosen ones, validating Propositions 3 and 4 without
+/// trusting the proofs.
+pub fn empirical_sensitivity<Q: QuerySequence + ?Sized>(query: &Q, relation: &Relation) -> f64 {
+    let base = query.evaluate(&Histogram::from_relation(relation));
+    let domain_size = relation.domain().size();
+    let mut worst: f64 = 0.0;
+
+    // All single-record insertions.
+    for value in 0..domain_size {
+        let neighbor = relation
+            .neighbor_with_insertion(value)
+            .expect("value is in domain");
+        let answer = query.evaluate(&Histogram::from_relation(&neighbor));
+        worst = worst.max(l1_distance(&base, &answer));
+    }
+
+    // All single-record removals (one per distinct present value suffices:
+    // removing any copy of the same value yields the same histogram).
+    let mut last = usize::MAX;
+    for &value in relation.records() {
+        if value == last {
+            continue;
+        }
+        last = value;
+        let neighbor = relation
+            .neighbor_with_removal(value)
+            .expect("value is present");
+        let answer = query.evaluate(&Histogram::from_relation(&neighbor));
+        worst = worst.max(l1_distance(&base, &answer));
+    }
+
+    worst
+}
+
+fn l1_distance(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "queries must be evaluated on one domain");
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{HierarchicalQuery, SortedQuery, UnitQuery};
+    use hc_data::Domain;
+    use rand::Rng;
+
+    fn random_relation(seed: u64, domain_size: usize, records: usize) -> Relation {
+        let mut rng = hc_noise::rng_from_seed(seed);
+        let values = (0..records).map(|_| rng.random_range(0..domain_size)).collect();
+        Relation::from_records(Domain::new("x", domain_size).unwrap(), values).unwrap()
+    }
+
+    #[test]
+    fn unit_query_sensitivity_is_one() {
+        for seed in 0..5 {
+            let r = random_relation(seed, 16, 40);
+            let s = empirical_sensitivity(&UnitQuery, &r);
+            assert!((s - 1.0).abs() < 1e-12, "seed {seed}: {s}");
+        }
+    }
+
+    #[test]
+    fn sorted_query_sensitivity_is_one() {
+        // Proposition 3 — the key nontrivial claim: sorting does not raise
+        // sensitivity even though one insertion can shift rank positions.
+        for seed in 0..8 {
+            let r = random_relation(seed, 12, 30);
+            let s = empirical_sensitivity(&SortedQuery, &r);
+            assert!(s <= 1.0 + 1e-12, "seed {seed}: {s}");
+            assert!(s >= 1.0 - 1e-12, "insertion always changes one rank");
+        }
+    }
+
+    #[test]
+    fn hierarchical_sensitivity_is_tree_height() {
+        // Proposition 4: Δ_H = ℓ.
+        for (domain, expected_height) in [(4usize, 3.0f64), (8, 4.0), (16, 5.0)] {
+            let r = random_relation(domain as u64, domain, 25);
+            let q = HierarchicalQuery::binary();
+            let s = empirical_sensitivity(&q, &r);
+            assert!(
+                (s - expected_height).abs() < 1e-12,
+                "domain {domain}: empirical {s} vs ℓ = {expected_height}"
+            );
+            assert_eq!(q.sensitivity(domain), expected_height);
+        }
+    }
+
+    #[test]
+    fn hierarchical_sensitivity_with_padding_never_exceeds_height() {
+        // Non-power-of-two domain: record changes still touch ℓ nodes.
+        let r = random_relation(3, 6, 20);
+        let q = HierarchicalQuery::binary();
+        let s = empirical_sensitivity(&q, &r);
+        assert!(s <= q.sensitivity(6) + 1e-12);
+    }
+
+    #[test]
+    fn empty_relation_insertion_only() {
+        let r = Relation::new(Domain::new("x", 8).unwrap());
+        let s = empirical_sensitivity(&SortedQuery, &r);
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,9 @@
+//! The paper's three query strategies: `L`, `S`, and `H`.
+
+mod hierarchical;
+mod sorted;
+mod unit;
+
+pub use hierarchical::{HierarchicalQuery, TreeShape};
+pub use sorted::SortedQuery;
+pub use unit::UnitQuery;

@@ -1,0 +1,71 @@
+//! The sorted query sequence `S` for unattributed histograms.
+
+use hc_data::Histogram;
+
+use crate::QuerySequence;
+
+/// The sorted strategy `S = ⟨rank₁(U), …, rankₙ(U)⟩` (Sec. 3): the multiset
+/// of unit counts in ascending order.
+///
+/// Sorting happens *before* noise is added, so the analyst knows the true
+/// answers are ordered — the inequality constraints `γ_S` that `hc-core`'s
+/// isotonic regression exploits. Proposition 3: sensitivity is still 1,
+/// because adding one record moves a single rank boundary by one without
+/// disturbing the sort order.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SortedQuery;
+
+impl QuerySequence for SortedQuery {
+    fn output_len(&self, domain_size: usize) -> usize {
+        domain_size
+    }
+
+    fn evaluate(&self, histogram: &Histogram) -> Vec<f64> {
+        histogram
+            .sorted_counts()
+            .into_iter()
+            .map(|c| c as f64)
+            .collect()
+    }
+
+    fn sensitivity(&self, _domain_size: usize) -> f64 {
+        1.0
+    }
+
+    fn label(&self) -> String {
+        "S".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hc_data::Domain;
+
+    fn example() -> Histogram {
+        Histogram::from_counts(Domain::new("src", 4).unwrap(), vec![2, 0, 10, 2])
+    }
+
+    #[test]
+    fn evaluates_to_sorted_counts() {
+        // Example 3: S(I) = ⟨0, 2, 2, 10⟩.
+        assert_eq!(SortedQuery.evaluate(&example()), vec![0.0, 2.0, 2.0, 10.0]);
+    }
+
+    #[test]
+    fn output_is_always_nondecreasing() {
+        let h = Histogram::from_counts(
+            Domain::new("x", 6).unwrap(),
+            vec![9, 1, 4, 4, 0, 7],
+        );
+        let s = SortedQuery.evaluate(&h);
+        assert!(s.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn shape_and_sensitivity() {
+        assert_eq!(SortedQuery.output_len(4), 4);
+        assert_eq!(SortedQuery.sensitivity(4), 1.0);
+        assert_eq!(SortedQuery.label(), "S");
+    }
+}

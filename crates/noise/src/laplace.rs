@@ -1,0 +1,229 @@
+//! The continuous Laplace (double-exponential) distribution.
+
+use rand::Rng;
+
+use crate::NoiseError;
+
+/// A Laplace distribution with location `mu` and scale `b > 0`.
+///
+/// The density is `f(x) = exp(-|x - mu| / b) / (2b)`; the variance is `2 b²`.
+/// The Laplace mechanism releases `q(I) + Lap(Δq / ε)` noise per answer
+/// (Proposition 1 of the paper), so the workspace constructs this type with
+/// `b = sensitivity / epsilon` and `mu = 0`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Laplace {
+    mu: f64,
+    b: f64,
+}
+
+impl Laplace {
+    /// Creates a Laplace distribution centred at `mu` with scale `b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NoiseError::InvalidParameter`] unless `b` is finite and
+    /// strictly positive.
+    pub fn new(mu: f64, b: f64) -> Result<Self, NoiseError> {
+        if !b.is_finite() || b <= 0.0 {
+            return Err(NoiseError::InvalidParameter {
+                name: "scale",
+                value: b,
+            });
+        }
+        if !mu.is_finite() {
+            return Err(NoiseError::InvalidParameter {
+                name: "location",
+                value: mu,
+            });
+        }
+        Ok(Self { mu, b })
+    }
+
+    /// A zero-mean Laplace with scale `b` — the shape used by the mechanism.
+    pub fn centered(b: f64) -> Result<Self, NoiseError> {
+        Self::new(0.0, b)
+    }
+
+    /// The location parameter `mu`.
+    #[inline]
+    pub fn location(&self) -> f64 {
+        self.mu
+    }
+
+    /// The scale parameter `b`.
+    #[inline]
+    pub fn scale(&self) -> f64 {
+        self.b
+    }
+
+    /// The variance, `2 b²`. This is the per-count `error` contribution used
+    /// throughout the paper's analysis (e.g. `error(L̃) = 2n/ε²`).
+    #[inline]
+    pub fn variance(&self) -> f64 {
+        2.0 * self.b * self.b
+    }
+
+    /// Probability density at `x`.
+    pub fn pdf(&self, x: f64) -> f64 {
+        (-(x - self.mu).abs() / self.b).exp() / (2.0 * self.b)
+    }
+
+    /// Cumulative distribution function at `x`.
+    pub fn cdf(&self, x: f64) -> f64 {
+        let z = (x - self.mu) / self.b;
+        if z < 0.0 {
+            0.5 * z.exp()
+        } else {
+            1.0 - 0.5 * (-z).exp()
+        }
+    }
+
+    /// Quantile (inverse CDF) at probability `p ∈ (0, 1)`.
+    ///
+    /// Out-of-range `p` saturates to ±∞, matching the usual convention.
+    pub fn quantile(&self, p: f64) -> f64 {
+        if p <= 0.0 {
+            return f64::NEG_INFINITY;
+        }
+        if p >= 1.0 {
+            return f64::INFINITY;
+        }
+        if p < 0.5 {
+            self.mu + self.b * (2.0 * p).ln()
+        } else {
+            self.mu - self.b * (2.0 * (1.0 - p)).ln()
+        }
+    }
+
+    /// Draws one sample by inverse-CDF transform of a uniform variate.
+    ///
+    /// Uses `u ~ Uniform(-1/2, 1/2)` and returns
+    /// `mu - b * sign(u) * ln(1 - 2|u|)`, which is exact and branch-light.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // `random::<f64>()` is uniform on [0, 1); shift to (-1/2, 1/2].
+        let u = 0.5 - rng.random::<f64>();
+        let magnitude = -self.b * (1.0 - 2.0 * u.abs()).ln();
+        if u < 0.0 {
+            self.mu - magnitude
+        } else {
+            self.mu + magnitude
+        }
+    }
+
+    /// Fills `out` with i.i.d. samples.
+    pub fn sample_into<R: Rng + ?Sized>(&self, rng: &mut R, out: &mut [f64]) {
+        for slot in out {
+            *slot = self.sample(rng);
+        }
+    }
+
+    /// Draws `n` i.i.d. samples — the `⟨Lap(σ)⟩ᵈ` vector of Proposition 1.
+    pub fn sample_vec<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<f64> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng_from_seed;
+
+    #[test]
+    fn rejects_bad_scale() {
+        assert!(Laplace::new(0.0, 0.0).is_err());
+        assert!(Laplace::new(0.0, -1.0).is_err());
+        assert!(Laplace::new(0.0, f64::NAN).is_err());
+        assert!(Laplace::new(0.0, f64::INFINITY).is_err());
+        assert!(Laplace::new(f64::NAN, 1.0).is_err());
+    }
+
+    #[test]
+    fn pdf_integrates_to_one() {
+        let d = Laplace::centered(1.5).unwrap();
+        // Trapezoidal integration over a wide interval.
+        let (lo, hi, steps) = (-40.0f64, 40.0f64, 200_000usize);
+        let h = (hi - lo) / steps as f64;
+        let mut total = 0.0;
+        for i in 0..=steps {
+            let x = lo + h * i as f64;
+            let w = if i == 0 || i == steps { 0.5 } else { 1.0 };
+            total += w * d.pdf(x);
+        }
+        total *= h;
+        // Trapezoid error is dominated by the kink at the mode; 1e-7 is the
+        // right tolerance for this step size.
+        assert!((total - 1.0).abs() < 1e-7, "integral = {total}");
+    }
+
+    #[test]
+    fn cdf_matches_known_values() {
+        let d = Laplace::centered(1.0).unwrap();
+        assert!((d.cdf(0.0) - 0.5).abs() < 1e-12);
+        // P(X <= -ln 2) = 0.5 * exp(-ln 2) = 0.25
+        assert!((d.cdf(-(2.0f64.ln())) - 0.25).abs() < 1e-12);
+        assert!((d.cdf(2.0f64.ln()) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        let d = Laplace::new(3.0, 0.7).unwrap();
+        for &p in &[0.001, 0.1, 0.25, 0.5, 0.75, 0.9, 0.999] {
+            let x = d.quantile(p);
+            assert!((d.cdf(x) - p).abs() < 1e-10, "p = {p}");
+        }
+    }
+
+    #[test]
+    fn quantile_saturates_outside_unit_interval() {
+        let d = Laplace::centered(1.0).unwrap();
+        assert_eq!(d.quantile(0.0), f64::NEG_INFINITY);
+        assert_eq!(d.quantile(1.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn sample_moments_match_theory() {
+        let d = Laplace::centered(2.0).unwrap();
+        let mut rng = rng_from_seed(7);
+        let n = 200_000;
+        let samples = d.sample_vec(&mut rng, n);
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        // std of the sample mean is sqrt(2*4/200000) ~ 0.0063; allow 5 sigma.
+        assert!(mean.abs() < 0.05, "mean = {mean}");
+        assert!((var - d.variance()).abs() / d.variance() < 0.05, "var = {var}");
+    }
+
+    #[test]
+    fn sample_respects_location() {
+        let d = Laplace::new(10.0, 0.5).unwrap();
+        let mut rng = rng_from_seed(8);
+        let n = 100_000;
+        let mean = d.sample_vec(&mut rng, n).iter().sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.05, "mean = {mean}");
+    }
+
+    #[test]
+    fn empirical_cdf_matches_analytic() {
+        let d = Laplace::centered(1.0).unwrap();
+        let mut rng = rng_from_seed(9);
+        let n = 100_000;
+        let samples = d.sample_vec(&mut rng, n);
+        for &x in &[-2.0, -0.5, 0.0, 0.5, 2.0] {
+            let emp = samples.iter().filter(|&&s| s <= x).count() as f64 / n as f64;
+            assert!(
+                (emp - d.cdf(x)).abs() < 0.01,
+                "x = {x}: empirical {emp} vs {}",
+                d.cdf(x)
+            );
+        }
+    }
+
+    #[test]
+    fn sample_into_fills_whole_slice() {
+        let d = Laplace::centered(1.0).unwrap();
+        let mut rng = rng_from_seed(10);
+        let mut buf = vec![f64::NAN; 64];
+        d.sample_into(&mut rng, &mut buf);
+        assert!(buf.iter().all(|x| x.is_finite()));
+    }
+}

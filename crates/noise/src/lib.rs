@@ -1,0 +1,56 @@
+//! Noise and sampling substrate for the `hist-consistency` workspace.
+//!
+//! Everything randomized in the reproduction flows through this crate:
+//!
+//! * [`Laplace`] — the continuous Laplace distribution used by the Laplace
+//!   mechanism (Dwork et al., TCC 2006), with exact pdf/cdf/quantile and
+//!   inverse-CDF sampling.
+//! * [`TwoSidedGeometric`] — the discrete analogue ("geometric mechanism",
+//!   Ghosh et al., STOC 2009), provided as an alternative noise source.
+//! * [`Zipf`] — a table-based Zipf sampler used by the synthetic dataset
+//!   generators.
+//! * [`SeedStream`] — deterministic derivation of independent per-trial seeds
+//!   from a master seed, so every experiment in the repository is exactly
+//!   reproducible.
+//!
+//! The `rand` crate supplies only the uniform bit stream; all distribution
+//! logic lives here so it can be tested against closed forms.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod geometric;
+mod laplace;
+mod poisson;
+mod seeds;
+mod zipf;
+
+pub use geometric::TwoSidedGeometric;
+pub use laplace::Laplace;
+pub use poisson::Poisson;
+pub use seeds::{rng_from_seed, SeedStream};
+pub use zipf::Zipf;
+
+/// Errors produced when constructing a distribution from invalid parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NoiseError {
+    /// A scale (or exponent) parameter was zero, negative, NaN or infinite.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+}
+
+impl core::fmt::Display for NoiseError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            NoiseError::InvalidParameter { name, value } => {
+                write!(f, "invalid distribution parameter {name} = {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NoiseError {}

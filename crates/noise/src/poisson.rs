@@ -1,0 +1,127 @@
+//! A Poisson sampler for the synthetic data generators.
+
+use rand::Rng;
+
+use crate::NoiseError;
+
+/// A Poisson distribution with rate `λ > 0`.
+///
+/// The dataset generators model bin counts as Poisson around a deterministic
+/// intensity curve (base rate + periodicity + bursts). Sampling uses Knuth's
+/// multiplication method for small `λ` and a normal approximation with
+/// continuity correction for large `λ` (the generators only need counts, not
+/// tail-exact samples, above λ ≈ 30).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Poisson {
+    lambda: f64,
+}
+
+/// Threshold above which the normal approximation is used.
+const NORMAL_APPROX_THRESHOLD: f64 = 30.0;
+
+impl Poisson {
+    /// Creates a Poisson distribution with rate `lambda`.
+    pub fn new(lambda: f64) -> Result<Self, NoiseError> {
+        if !lambda.is_finite() || lambda <= 0.0 {
+            return Err(NoiseError::InvalidParameter {
+                name: "lambda",
+                value: lambda,
+            });
+        }
+        Ok(Self { lambda })
+    }
+
+    /// The rate parameter.
+    #[inline]
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        if self.lambda < NORMAL_APPROX_THRESHOLD {
+            self.sample_knuth(rng)
+        } else {
+            self.sample_normal_approx(rng)
+        }
+    }
+
+    fn sample_knuth<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let limit = (-self.lambda).exp();
+        let mut product: f64 = rng.random();
+        let mut count = 0u64;
+        while product > limit {
+            product *= rng.random::<f64>();
+            count += 1;
+        }
+        count
+    }
+
+    fn sample_normal_approx<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        // Box–Muller standard normal.
+        let u1: f64 = 1.0 - rng.random::<f64>();
+        let u2: f64 = rng.random();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        let x = self.lambda + self.lambda.sqrt() * z + 0.5;
+        if x < 0.0 {
+            0
+        } else {
+            x.floor() as u64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng_from_seed;
+
+    #[test]
+    fn rejects_bad_lambda() {
+        assert!(Poisson::new(0.0).is_err());
+        assert!(Poisson::new(-2.0).is_err());
+        assert!(Poisson::new(f64::NAN).is_err());
+    }
+
+    fn check_moments(lambda: f64, seed: u64) {
+        let p = Poisson::new(lambda).unwrap();
+        let mut rng = rng_from_seed(seed);
+        let n = 100_000;
+        let samples: Vec<u64> = (0..n).map(|_| p.sample(&mut rng)).collect();
+        let mean = samples.iter().map(|&x| x as f64).sum::<f64>() / n as f64;
+        let var = samples
+            .iter()
+            .map(|&x| (x as f64 - mean) * (x as f64 - mean))
+            .sum::<f64>()
+            / n as f64;
+        assert!(
+            (mean - lambda).abs() < 0.05 * lambda.max(1.0),
+            "lambda {lambda}: mean {mean}"
+        );
+        assert!(
+            (var - lambda).abs() < 0.08 * lambda.max(1.0),
+            "lambda {lambda}: var {var}"
+        );
+    }
+
+    #[test]
+    fn small_lambda_moments() {
+        check_moments(0.5, 31);
+        check_moments(4.0, 32);
+    }
+
+    #[test]
+    fn large_lambda_moments() {
+        check_moments(80.0, 33);
+        check_moments(400.0, 34);
+    }
+
+    #[test]
+    fn zero_probability_mass_is_reachable() {
+        let p = Poisson::new(0.1).unwrap();
+        let mut rng = rng_from_seed(35);
+        let zeros = (0..10_000).filter(|_| p.sample(&mut rng) == 0).count();
+        // P(0) = e^-0.1 ≈ 0.905.
+        assert!(zeros > 8_800 && zeros < 9_300, "zeros = {zeros}");
+    }
+}

@@ -1,0 +1,103 @@
+//! Deterministic seed derivation for reproducible experiments.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Builds a [`StdRng`] from a 64-bit seed.
+///
+/// All randomness in the workspace should originate from a seed passed through
+/// this function (directly or via [`SeedStream`]), never from OS entropy, so
+/// every figure and test is bit-reproducible.
+pub fn rng_from_seed(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// A stream of independent 64-bit seeds derived from a master seed.
+///
+/// Experiments run many trials (often in parallel); giving each trial
+/// `stream.nth(trial)` decouples the trial's randomness from execution order
+/// and thread scheduling. Derivation uses the SplitMix64 finalizer, whose
+/// output is equidistributed and passes BigCrush — more than adequate for
+/// decorrelating seeds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeedStream {
+    master: u64,
+}
+
+impl SeedStream {
+    /// Creates a stream rooted at `master`.
+    pub fn new(master: u64) -> Self {
+        Self { master }
+    }
+
+    /// The `i`-th derived seed. Pure function of `(master, i)`.
+    pub fn nth(&self, i: u64) -> u64 {
+        splitmix64(self.master ^ splitmix64(i.wrapping_add(0x9E37_79B9_7F4A_7C15)))
+    }
+
+    /// A child stream, for nesting (e.g. per-dataset then per-trial).
+    pub fn substream(&self, label: u64) -> SeedStream {
+        SeedStream::new(self.nth(label ^ 0xA5A5_A5A5_A5A5_A5A5))
+    }
+
+    /// Convenience: the `i`-th derived RNG.
+    pub fn rng(&self, i: u64) -> StdRng {
+        rng_from_seed(self.nth(i))
+    }
+}
+
+/// The SplitMix64 finalizer (Steele, Lea, Flood; JPDC 2014).
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use std::collections::HashSet;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let a = SeedStream::new(42);
+        let b = SeedStream::new(42);
+        for i in 0..100 {
+            assert_eq!(a.nth(i), b.nth(i));
+        }
+    }
+
+    #[test]
+    fn different_masters_decorrelate() {
+        let a = SeedStream::new(1);
+        let b = SeedStream::new(2);
+        let overlap = (0..1000).filter(|&i| a.nth(i) == b.nth(i)).count();
+        assert_eq!(overlap, 0);
+    }
+
+    #[test]
+    fn seeds_are_distinct_within_stream() {
+        let s = SeedStream::new(7);
+        let seen: HashSet<u64> = (0..10_000).map(|i| s.nth(i)).collect();
+        assert_eq!(seen.len(), 10_000);
+    }
+
+    #[test]
+    fn substreams_do_not_collide_with_parent() {
+        let s = SeedStream::new(9);
+        let sub = s.substream(3);
+        let parent: HashSet<u64> = (0..1000).map(|i| s.nth(i)).collect();
+        let child: HashSet<u64> = (0..1000).map(|i| sub.nth(i)).collect();
+        assert!(parent.is_disjoint(&child));
+    }
+
+    #[test]
+    fn rng_reproducible() {
+        let s = SeedStream::new(11);
+        let x: f64 = s.rng(5).random();
+        let y: f64 = s.rng(5).random();
+        assert_eq!(x, y);
+    }
+}

@@ -1,0 +1,159 @@
+//! A table-based Zipf sampler for the synthetic dataset generators.
+
+use rand::Rng;
+
+use crate::NoiseError;
+
+/// A Zipf distribution over ranks `1..=n` with exponent `s > 0`:
+/// `P(X = r) ∝ r^(-s)`.
+///
+/// The constructor precomputes the normalized CDF (O(n) space); sampling is a
+/// binary search (O(log n)). The dataset generators draw millions of ranks
+/// from domains up to 2¹⁶, for which this is the right trade-off.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+    exponent: f64,
+}
+
+impl Zipf {
+    /// Creates a Zipf distribution over `1..=n`.
+    pub fn new(n: usize, exponent: f64) -> Result<Self, NoiseError> {
+        if n == 0 {
+            return Err(NoiseError::InvalidParameter {
+                name: "n",
+                value: 0.0,
+            });
+        }
+        if !exponent.is_finite() || exponent <= 0.0 {
+            return Err(NoiseError::InvalidParameter {
+                name: "exponent",
+                value: exponent,
+            });
+        }
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for r in 1..=n {
+            acc += (r as f64).powf(-exponent);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        // Guard against floating error leaving the last entry below 1.
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        Ok(Self { cdf, exponent })
+    }
+
+    /// Number of ranks.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// The exponent `s`.
+    #[inline]
+    pub fn exponent(&self) -> f64 {
+        self.exponent
+    }
+
+    /// Probability mass of rank `r` (1-based).
+    pub fn pmf(&self, r: usize) -> f64 {
+        assert!(r >= 1 && r <= self.n(), "rank out of range");
+        let lo = if r == 1 { 0.0 } else { self.cdf[r - 2] };
+        self.cdf[r - 1] - lo
+    }
+
+    /// Draws one rank in `1..=n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.random();
+        // partition_point returns the count of entries < u, i.e. the first
+        // index with cdf >= u; +1 converts to a 1-based rank.
+        self.cdf.partition_point(|&c| c < u) + 1
+    }
+
+    /// Draws `count` ranks and tallies them into a histogram of length `n`
+    /// (index `r − 1` holds the number of times rank `r` was drawn).
+    pub fn sample_histogram<R: Rng + ?Sized>(&self, rng: &mut R, count: usize) -> Vec<u64> {
+        let mut hist = vec![0u64; self.n()];
+        for _ in 0..count {
+            hist[self.sample(rng) - 1] += 1;
+        }
+        hist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng_from_seed;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Zipf::new(0, 1.0).is_err());
+        assert!(Zipf::new(10, 0.0).is_err());
+        assert!(Zipf::new(10, -1.0).is_err());
+        assert!(Zipf::new(10, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = Zipf::new(100, 1.1).unwrap();
+        let total: f64 = (1..=100).map(|r| z.pmf(r)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pmf_is_decreasing_in_rank() {
+        let z = Zipf::new(50, 1.5).unwrap();
+        for r in 1..50 {
+            assert!(z.pmf(r) > z.pmf(r + 1), "rank {r}");
+        }
+    }
+
+    #[test]
+    fn ratio_follows_power_law() {
+        let z = Zipf::new(1000, 2.0).unwrap();
+        // pmf(1)/pmf(2) should be 2^s = 4.
+        assert!((z.pmf(1) / z.pmf(2) - 4.0).abs() < 1e-9);
+        assert!((z.pmf(2) / z.pmf(4) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn samples_are_in_range_and_skewed() {
+        let z = Zipf::new(64, 1.2).unwrap();
+        let mut rng = rng_from_seed(5);
+        let hist = z.sample_histogram(&mut rng, 100_000);
+        assert_eq!(hist.len(), 64);
+        assert_eq!(hist.iter().sum::<u64>(), 100_000);
+        // Rank 1 should dominate rank 64 by roughly 64^1.2 ≈ 147.
+        assert!(hist[0] > hist[63] * 20, "head {} tail {}", hist[0], hist[63]);
+    }
+
+    #[test]
+    fn empirical_frequencies_match_pmf() {
+        let z = Zipf::new(16, 1.0).unwrap();
+        let mut rng = rng_from_seed(6);
+        let n = 400_000;
+        let hist = z.sample_histogram(&mut rng, n);
+        for r in 1..=16 {
+            let emp = hist[r - 1] as f64 / n as f64;
+            assert!(
+                (emp - z.pmf(r)).abs() < 0.005,
+                "rank {r}: {emp} vs {}",
+                z.pmf(r)
+            );
+        }
+    }
+
+    #[test]
+    fn single_rank_degenerate_case() {
+        let z = Zipf::new(1, 1.0).unwrap();
+        let mut rng = rng_from_seed(7);
+        assert_eq!(z.sample(&mut rng), 1);
+        assert!((z.pmf(1) - 1.0).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,95 @@
+//! A universal histogram over a network trace: release once, answer any
+//! range count — the Sec. 5.2 scenario, including the sparse-region win of
+//! the Sec. 4.2 non-negativity heuristic.
+//!
+//! ```sh
+//! cargo run --release --example network_trace
+//! ```
+
+use hist_consistency::data::generators::{NetTrace, NetTraceConfig};
+use hist_consistency::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = rng_from_seed(31);
+    let trace = NetTrace::generate(
+        NetTraceConfig {
+            hosts: 1 << 12,
+            active_fraction: 0.25,
+            subnet_blocks: 8,
+            connections: 30_000,
+            exponent: 1.3,
+        },
+        &mut rng,
+    );
+    let histogram = trace.histogram();
+    println!(
+        "Trace: {} external hosts, {} connections, {:.0}% of hosts silent",
+        histogram.len(),
+        histogram.total(),
+        100.0 * histogram.sparsity()
+    );
+
+    // One ε-DP release of the binary interval tree supports every query
+    // below; sensitivity is the tree height ℓ = 13.
+    let epsilon = Epsilon::new(0.1)?;
+    let release = HierarchicalUniversal::binary(epsilon).release(&histogram, &mut rng);
+    println!(
+        "Released {} noisy tree counts at {} (noise scale {:.0} per count)\n",
+        release.noisy_values().len(),
+        epsilon,
+        release.shape().height() as f64 / epsilon.value(),
+    );
+
+    // The Sec. 5.2 estimator: inference + subtree zeroing + rounding.
+    let tree = release.infer_rounded();
+
+    let n = histogram.len();
+    let queries = [
+        ("all traffic", Interval::new(0, n - 1)),
+        ("first /14 block", Interval::new(0, n / 4 - 1)),
+        ("one /18 block", Interval::new(n / 2, n / 2 + n / 64 - 1)),
+        ("single host", Interval::new(3 * n / 4, 3 * n / 4)),
+    ];
+    println!("{:<18} {:>12} {:>12} {:>12}", "query", "true", "H̄", "H~ raw");
+    for (label, q) in queries {
+        println!(
+            "{:<18} {:>12} {:>12.0} {:>12.1}",
+            label,
+            histogram.range_count(q),
+            tree.range_query(q),
+            release.range_query_subtree(q, Rounding::None),
+        );
+    }
+
+    // The sparse-region effect: average error over empty unit ranges, with
+    // and without the Sec. 4.2 zeroing, against the flat baseline.
+    let empty_bins: Vec<usize> = (0..n).filter(|&i| histogram.counts()[i] == 0).take(2000).collect();
+    let raw_tree = release.infer();
+    let flat = FlatUniversal::new(epsilon).release(&histogram, &mut rng);
+    let (mut flat_err, mut raw_err, mut zeroed_err) = (0.0, 0.0, 0.0);
+    for &bin in &empty_bins {
+        let q = Interval::new(bin, bin);
+        flat_err += flat.range_query(q, Rounding::NonNegativeInteger).powi(2);
+        raw_err += raw_tree.range_query(q).powi(2);
+        zeroed_err += tree.range_query(q).powi(2);
+    }
+    let m = empty_bins.len() as f64;
+    println!(
+        "\nEmpty-bin mean squared error over {} silent hosts:\n  \
+         H̄ without zeroing:       {:9.2}\n  \
+         H̄ with Sec. 4.2 zeroing: {:9.2}\n  \
+         L~ (rounded unit counts): {:9.2}",
+        empty_bins.len(),
+        raw_err / m,
+        zeroed_err / m,
+        flat_err / m,
+    );
+    println!(
+        "\nThe tree *observes* that whole regions are silent and zeroes them (Sec. 4.2),\n\
+         cutting H̄'s empty-bin error several-fold. On the paper's (much sparser) real\n\
+         trace this effect was strong enough for H̄ to beat L~ even at unit ranges; on\n\
+         this synthetic trace L~ keeps its unit-range edge while H̄ wins everywhere else\n\
+         — see EXPERIMENTS.md for the full measured comparison."
+    );
+    Ok(())
+}

@@ -1,0 +1,84 @@
+//! Private search-trend analytics over a keyword time series — the Fig. 6
+//! Search Logs scenario, plus a comparison with the Haar-wavelet mechanism
+//! the related-work section discusses.
+//!
+//! ```sh
+//! cargo run --release --example search_trends
+//! ```
+
+use hist_consistency::data::generators::{SearchLogs, SearchLogsConfig};
+use hist_consistency::ext::wavelet::WaveletUniversal;
+use hist_consistency::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = rng_from_seed(47);
+    let logs = SearchLogs::generate(
+        SearchLogsConfig {
+            bins: 1 << 12,
+            base_rate: 0.2,
+            bursts: 12,
+            election_peak: 300.0,
+        },
+        &mut rng,
+    );
+    let histogram = logs.histogram().clone();
+    let n = histogram.len();
+    println!(
+        "Series: {} bins (16/day), {} total searches for the tracked term",
+        n,
+        histogram.total()
+    );
+
+    let epsilon = Epsilon::new(0.1)?;
+    let tree = HierarchicalUniversal::binary(epsilon)
+        .release(&histogram, &mut rng)
+        .infer_rounded();
+    let wavelet = WaveletUniversal::new(epsilon).release(&histogram, &mut rng);
+
+    // Weekly aggregates across the series: 16 bins/day × 7 days.
+    let week = 16 * 7;
+    println!("\nWeekly totals (every 8th week shown):");
+    println!("{:>6} {:>10} {:>10} {:>10}", "week", "true", "H̄", "wavelet");
+    let mut w = 0;
+    while (w + 1) * week <= n {
+        if w % 8 == 0 {
+            let q = Interval::new(w * week, (w + 1) * week - 1);
+            println!(
+                "{:>6} {:>10} {:>10.0} {:>10.1}",
+                w,
+                histogram.range_count(q),
+                tree.range_query(q),
+                wavelet.range_query(q),
+            );
+        }
+        w += 1;
+    }
+
+    // The election window: the high-mass region near 85% of the series.
+    let spike_center = n * 85 / 100;
+    let window = Interval::new(spike_center - week, spike_center + week - 1);
+    println!(
+        "\nElection fortnight [{}..{}]: true {}, H̄ {:.0}, wavelet {:.1}",
+        window.lo(),
+        window.hi(),
+        histogram.range_count(window),
+        tree.range_query(window),
+        wavelet.range_query(window),
+    );
+
+    // Quiet-period query: early in the series almost nothing happens.
+    let quiet = Interval::new(0, n / 8 - 1);
+    println!(
+        "Quiet early eighth     : true {}, H̄ {:.0}, wavelet {:.1}",
+        histogram.range_count(quiet),
+        tree.range_query(quiet),
+        wavelet.range_query(quiet),
+    );
+
+    println!(
+        "\nBoth mechanisms release sensitivity-ℓ structures and support arbitrary range\n\
+         queries with poly-log error; Li et al. (PODS 2010) showed they are equivalent\n\
+         up to constants, and the `ablation_wavelet` experiment measures exactly that."
+    );
+    Ok(())
+}

@@ -1,0 +1,71 @@
+//! A differentially private continual counter over a live event stream —
+//! the Chan–Shi–Song construction from the paper's related work, built from
+//! the same tree machinery as `H` and post-processed with the same isotonic
+//! solver as `S̄`.
+//!
+//! Scenario: a service must publish a running count of security incidents
+//! every hour without revealing whether any single report occurred.
+//!
+//! ```sh
+//! cargo run --release --example streaming_counter
+//! ```
+
+use hist_consistency::ext::continual::ContinualCounter;
+use hist_consistency::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = rng_from_seed(59);
+
+    // One week of hourly incident counts: quiet nights, a burst mid-week.
+    let horizon = 168;
+    let stream: Vec<u64> = (0..horizon)
+        .map(|h| {
+            let hour_of_day = h % 24;
+            let base = u64::from((9..18).contains(&hour_of_day));
+            let burst = if (80..92).contains(&h) { 4 } else { 0 };
+            base + burst
+        })
+        .collect();
+    let true_totals: Vec<f64> = stream
+        .iter()
+        .scan(0.0, |acc, &x| {
+            *acc += x as f64;
+            Some(*acc)
+        })
+        .collect();
+
+    let epsilon = Epsilon::new(0.5)?;
+    let counter = ContinualCounter::new(epsilon, horizon);
+    let release = counter.process(&stream, &mut rng);
+
+    // Raw hierarchical prefixes vs the monotone-projected series.
+    let raw = release.prefix_series();
+    let mono = release.monotonized();
+
+    println!("hour  true  released  monotonized");
+    for h in (0..horizon).step_by(24) {
+        println!(
+            "{h:>4}  {:>4}  {:>8.1}  {:>11.1}",
+            true_totals[h], raw[h], mono[h]
+        );
+    }
+    let last = horizon - 1;
+    println!(
+        "{last:>4}  {:>4}  {:>8.1}  {:>11.1}",
+        true_totals[last], raw[last], mono[last]
+    );
+
+    let raw_err = sum_squared_error(&raw, &true_totals);
+    let mono_err = sum_squared_error(&mono, &true_totals);
+    println!(
+        "\nsum squared error over all {horizon} steps: released {raw_err:.1}, \
+         monotonized {mono_err:.1} ({:.1}x better)",
+        raw_err / mono_err
+    );
+    println!(
+        "\nEach report influences only log T + 1 released values, so the whole week of\n\
+         publications costs a single ε = 0.5. Running totals never decrease, so the\n\
+         isotonic projection (the S̄ solver) is free post-processing accuracy."
+    );
+    Ok(())
+}

@@ -1,0 +1,166 @@
+//! Statistical quality gates for the estimators — the paper's inequalities
+//! checked as executable assertions over many mechanism samples.
+
+use hist_consistency::infer::theory;
+use hist_consistency::prelude::*;
+
+fn power_law_histogram(n: usize, seed: u64) -> Histogram {
+    let mut rng = rng_from_seed(seed);
+    let zipf = hist_consistency::noise::Zipf::new(n, 1.2).unwrap();
+    let counts = zipf.sample_histogram(&mut rng, 20 * n);
+    Histogram::from_counts(Domain::new("x", n).unwrap(), counts)
+}
+
+#[test]
+fn isotonic_inference_never_increases_error_over_many_trials() {
+    // Hwang & Peddada via Sec. 3.2: per trial, projection cannot move the
+    // estimate further from any sorted target.
+    let histogram = power_law_histogram(128, 1);
+    let truth: Vec<f64> = histogram
+        .sorted_counts()
+        .into_iter()
+        .map(|c| c as f64)
+        .collect();
+    let task = UnattributedHistogram::new(Epsilon::new(0.2).unwrap());
+    let mut rng = rng_from_seed(2);
+    for _ in 0..300 {
+        let rel = task.release(&histogram, &mut rng);
+        let base = sum_squared_error(rel.baseline(), &truth);
+        let inf = sum_squared_error(&rel.inferred(), &truth);
+        assert!(inf <= base + 1e-9, "inference increased error: {inf} > {base}");
+    }
+}
+
+#[test]
+fn theorem2_gap_on_duplicate_heavy_sequences() {
+    // A power-law histogram has d ≪ n; the measured S~/S̄ gap must be large
+    // (the paper reports ≥ 10x on its datasets).
+    let histogram = power_law_histogram(1024, 3);
+    let d = histogram.distinct_count_values();
+    assert!(d * 8 < histogram.len(), "dataset not in the d ≪ n regime");
+
+    let truth: Vec<f64> = histogram
+        .sorted_counts()
+        .into_iter()
+        .map(|c| c as f64)
+        .collect();
+    let task = UnattributedHistogram::new(Epsilon::new(0.1).unwrap());
+    let mut rng = rng_from_seed(4);
+    let trials = 60;
+    let (mut base, mut inf) = (0.0, 0.0);
+    for _ in 0..trials {
+        let rel = task.release(&histogram, &mut rng);
+        base += sum_squared_error(rel.baseline(), &truth);
+        inf += sum_squared_error(&rel.inferred(), &truth);
+    }
+    assert!(
+        inf * 10.0 < base,
+        "gap below 10x: baseline {base}, inferred {inf}"
+    );
+}
+
+#[test]
+fn hbar_is_unbiased_for_range_queries() {
+    // Theorem 4(i): the pure inference estimator is unbiased.
+    let histogram = power_law_histogram(64, 5);
+    let q = Interval::new(5, 40);
+    let truth = histogram.range_count(q) as f64;
+    let pipeline = HierarchicalUniversal::binary(Epsilon::new(0.5).unwrap());
+    let mut rng = rng_from_seed(6);
+    let trials = 2000;
+    let mut total = 0.0;
+    for _ in 0..trials {
+        total += pipeline.release(&histogram, &mut rng).infer().range_query(q);
+    }
+    let mean = total / trials as f64;
+    // Std error of the mean ≈ sqrt(var/trials); var ≤ kℓ·2ℓ²/ε² = 6272.
+    assert!((mean - truth).abs() < 8.0, "mean {mean} vs truth {truth}");
+}
+
+#[test]
+fn hbar_dominates_htilde_over_a_query_grid() {
+    // Theorem 4(ii) sampled: over a grid of ranges, H̄'s MSE ≤ H~'s.
+    let histogram = power_law_histogram(64, 7);
+    let pipeline = HierarchicalUniversal::binary(Epsilon::new(0.3).unwrap());
+    let queries: Vec<Interval> = (0..60)
+        .map(|i| {
+            let lo = (i * 7) % 50;
+            Interval::new(lo, lo + 3 + (i % 11))
+        })
+        .collect();
+    let truths: Vec<f64> = queries
+        .iter()
+        .map(|&q| histogram.range_count(q) as f64)
+        .collect();
+
+    let trials = 150;
+    let mut subtree_err = vec![0.0; queries.len()];
+    let mut inferred_err = vec![0.0; queries.len()];
+    let mut rng = rng_from_seed(8);
+    for _ in 0..trials {
+        let rel = pipeline.release(&histogram, &mut rng);
+        let tree = rel.infer();
+        for (i, &q) in queries.iter().enumerate() {
+            subtree_err[i] += (rel.range_query_subtree(q, Rounding::None) - truths[i]).powi(2);
+            inferred_err[i] += (tree.range_query(q) - truths[i]).powi(2);
+        }
+    }
+    let wins = queries
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| inferred_err[i] <= subtree_err[i] * 1.05)
+        .count();
+    assert!(
+        wins * 100 >= queries.len() * 90,
+        "H̄ beat H~ on only {wins}/{} queries",
+        queries.len()
+    );
+}
+
+#[test]
+fn theorem4_gap_factor_is_realized_at_height_8() {
+    let shape = TreeShape::new(2, 8);
+    let n = shape.leaves();
+    let histogram = Histogram::from_counts(Domain::new("x", n).unwrap(), vec![1; n]);
+    let q = theory::thm4_query(&shape);
+    let truth = histogram.range_count(q) as f64;
+    let pipeline = HierarchicalUniversal::binary(Epsilon::new(1.0).unwrap());
+
+    let trials = 400;
+    let (mut sub, mut inf) = (0.0, 0.0);
+    let mut rng = rng_from_seed(9);
+    for _ in 0..trials {
+        let rel = pipeline.release(&histogram, &mut rng);
+        sub += (rel.range_query_subtree(q, Rounding::None) - truth).powi(2);
+        inf += (rel.infer().range_query(q) - truth).powi(2);
+    }
+    let measured = sub / inf;
+    let predicted = theory::thm4_gap_factor(&shape); // (2·7·1 − 2)/3 = 4.0
+    assert!(
+        measured > predicted * 0.6,
+        "measured factor {measured} vs predicted {predicted}"
+    );
+}
+
+#[test]
+fn error_of_baseline_matches_closed_form() {
+    // error(S~) = 2n/ε² exactly in expectation (Definition 2.3 example).
+    let n = 256;
+    let histogram = Histogram::from_counts(Domain::new("x", n).unwrap(), vec![5; n]);
+    let truth: Vec<f64> = vec![5.0; n];
+    let eps = 0.5;
+    let task = UnattributedHistogram::new(Epsilon::new(eps).unwrap());
+    let trials = 300;
+    let mut total = 0.0;
+    let mut rng = rng_from_seed(10);
+    for _ in 0..trials {
+        let rel = task.release(&histogram, &mut rng);
+        total += sum_squared_error(rel.baseline(), &truth);
+    }
+    let measured = total / trials as f64;
+    let predicted = theory::error_sorted_baseline(n, eps);
+    assert!(
+        (measured - predicted).abs() / predicted < 0.12,
+        "measured {measured} vs predicted {predicted}"
+    );
+}

@@ -1,0 +1,78 @@
+//! Smoke tests: every experiment binary's library entry point runs in quick
+//! mode and reports the claims it was built to check. This keeps the whole
+//! reproduction harness compiling, running, and honest under `cargo test`.
+
+use hc_bench::experiments as exp;
+use hc_bench::RunConfig;
+
+fn quick() -> RunConfig {
+    RunConfig::quick()
+}
+
+#[test]
+fn fig2_reports_worked_example() {
+    let out = exp::fig2::run(quick());
+    assert!(out.contains("<14, 3, 11, 3, 0, 11, 0>"));
+}
+
+#[test]
+fn fig3_reports_uniform_run_reduction() {
+    let out = exp::fig3::run(quick());
+    assert!(out.contains("uniform run"));
+    assert!(out.contains("distinct tail"));
+}
+
+#[test]
+fn fig5_reports_order_of_magnitude_claim() {
+    let out = exp::fig5::run(quick());
+    assert!(out.contains("Minimum S~/S̄ gain observed"));
+    assert!(out.contains("Social Network"));
+    assert!(out.contains("NetTrace"));
+    assert!(out.contains("Search Logs"));
+}
+
+#[test]
+fn fig6_reports_crossover_and_series() {
+    let out = exp::fig6::run(quick());
+    assert!(out.contains("crossover"));
+    assert!(out.contains("ε = 0.01"));
+    assert!(out.matches("== Fig. 6").count() == 6, "2 datasets × 3 ε");
+}
+
+#[test]
+fn fig7_reports_boundary_vs_interior() {
+    let out = exp::fig7::run(quick());
+    assert!(out.contains("uniform-run interior"));
+    assert!(out.contains("count-change boundary"));
+}
+
+#[test]
+fn thm2_reports_both_sweeps() {
+    let out = exp::thm2_scaling::run(quick());
+    assert!(out.contains("sweep over d"));
+    assert!(out.contains("sweep over n"));
+}
+
+#[test]
+fn thm4_reports_predicted_factor() {
+    let out = exp::thm4_factor::run(quick());
+    assert!(out.contains("predicted factor"));
+    assert!(out.contains("9.33"));
+}
+
+#[test]
+fn appendix_e_reports_scaling_reference() {
+    let out = exp::appendix_e::run(quick());
+    assert!(out.contains("N^(2/3) reference"));
+}
+
+#[test]
+fn ablations_all_run() {
+    assert!(exp::ablation_branching::run(quick()).contains("branching factor"));
+    assert!(exp::ablation_budget::run(quick()).contains("budget allocation"));
+    assert!(exp::ablation_wavelet::run(quick()).contains("wavelet"));
+    assert!(exp::ablation_matrix::run(quick()).contains("crossover"));
+    assert!(exp::ablation_nonneg::run(quick()).contains("non-negativity"));
+    assert!(exp::ablation_geometric::run(quick()).contains("geometric"));
+    assert!(exp::ablation_quadtree::run(quick()).contains("quadtree"));
+}

@@ -1,0 +1,65 @@
+//! The paper's Fig. 2 worked example, end to end through the public facade.
+
+use hist_consistency::prelude::*;
+
+fn example() -> Histogram {
+    let domain = Domain::new("src", 4).expect("non-empty domain");
+    Histogram::from_counts(domain, vec![2, 0, 10, 2])
+}
+
+#[test]
+fn query_sequences_match_figure_2b() {
+    let h = example();
+    assert_eq!(UnitQuery.evaluate(&h), vec![2.0, 0.0, 10.0, 2.0]);
+    assert_eq!(SortedQuery.evaluate(&h), vec![0.0, 2.0, 2.0, 10.0]);
+    assert_eq!(
+        HierarchicalQuery::binary().evaluate(&h),
+        vec![14.0, 2.0, 12.0, 2.0, 0.0, 10.0, 2.0]
+    );
+}
+
+#[test]
+fn fixed_noisy_tree_infers_to_paper_answer() {
+    // H~(I) = ⟨13, 3, 11, 4, 1, 12, 1⟩ → H̄(I) = ⟨14, 3, 11, 3, 0, 11, 0⟩.
+    let shape = TreeShape::new(2, 3);
+    let release = TreeRelease::from_noisy(
+        Epsilon::new(1.0).unwrap(),
+        shape,
+        4,
+        vec![13.0, 3.0, 11.0, 4.0, 1.0, 12.0, 1.0],
+    );
+    let inferred = release.infer();
+    let expected = [14.0, 3.0, 11.0, 3.0, 0.0, 11.0, 0.0];
+    for (got, want) in inferred.node_values().iter().zip(&expected) {
+        assert!((got - want).abs() < 1e-12, "{got} vs {want}");
+    }
+}
+
+#[test]
+fn fixed_noisy_sorted_sequence_infers_to_paper_answer() {
+    // S~(I) = ⟨1, 2, 0, 11⟩ → S̄(I) = ⟨1, 1, 1, 11⟩ (Fig. 2b, third row).
+    let release =
+        SortedRelease::from_noisy(Epsilon::new(1.0).unwrap(), vec![1.0, 2.0, 0.0, 11.0]);
+    let inferred = release.inferred();
+    let expected = [1.0, 1.0, 1.0, 11.0];
+    for (got, want) in inferred.iter().zip(&expected) {
+        assert!((got - want).abs() < 1e-12, "{got} vs {want}");
+    }
+}
+
+#[test]
+fn sensitivities_match_the_paper() {
+    // Example 2, Prop. 3, Prop. 4 (ℓ = 3 for the 4-leaf binary tree).
+    assert_eq!(UnitQuery.sensitivity(4), 1.0);
+    assert_eq!(SortedQuery.sensitivity(4), 1.0);
+    assert_eq!(HierarchicalQuery::binary().sensitivity(4), 3.0);
+}
+
+#[test]
+fn example_5_error_formula() {
+    // Sec. 2.1: error(L~) = 2n/ε².
+    let n = 4;
+    let eps = 0.5;
+    let expected = 2.0 * n as f64 / (eps * eps);
+    assert!((hist_consistency::infer::theory::error_unit_full(n, eps) - expected).abs() < 1e-12);
+}

@@ -1,0 +1,132 @@
+//! Privacy-layer integration tests: sensitivity validation across all query
+//! strategies (including the wavelet extension) and budget composition.
+
+use hist_consistency::ext::wavelet::HaarQuery;
+use hist_consistency::mech::empirical_sensitivity;
+use hist_consistency::prelude::*;
+use rand::Rng;
+
+fn random_relation(seed: u64, domain_size: usize, records: usize) -> Relation {
+    let mut rng = rng_from_seed(seed);
+    let values = (0..records)
+        .map(|_| rng.random_range(0..domain_size))
+        .collect();
+    Relation::from_records(Domain::new("x", domain_size).unwrap(), values).unwrap()
+}
+
+#[test]
+fn all_strategies_respect_their_analytic_sensitivity() {
+    for seed in 0..5u64 {
+        let domain_size = 16;
+        let relation = random_relation(seed, domain_size, 30);
+
+        let checks: Vec<(f64, f64)> = vec![
+            (
+                empirical_sensitivity(&UnitQuery, &relation),
+                UnitQuery.sensitivity(domain_size),
+            ),
+            (
+                empirical_sensitivity(&SortedQuery, &relation),
+                SortedQuery.sensitivity(domain_size),
+            ),
+            (
+                empirical_sensitivity(&HierarchicalQuery::binary(), &relation),
+                HierarchicalQuery::binary().sensitivity(domain_size),
+            ),
+            (
+                empirical_sensitivity(&HierarchicalQuery::new(4), &relation),
+                HierarchicalQuery::new(4).sensitivity(domain_size),
+            ),
+            (
+                empirical_sensitivity(&HaarQuery, &relation),
+                HaarQuery.sensitivity(domain_size),
+            ),
+        ];
+        for (empirical, analytic) in checks {
+            assert!(
+                empirical <= analytic + 1e-9,
+                "seed {seed}: empirical {empirical} exceeds analytic {analytic}"
+            );
+        }
+    }
+}
+
+#[test]
+fn hierarchical_sensitivity_is_tight() {
+    // The analytic ℓ is achieved (not just an upper bound): some record
+    // change must touch ℓ tree nodes.
+    let relation = random_relation(9, 32, 50);
+    let q = HierarchicalQuery::binary();
+    let s = empirical_sensitivity(&q, &relation);
+    assert!((s - q.sensitivity(32)).abs() < 1e-9, "not tight: {s}");
+}
+
+#[test]
+fn budget_composes_across_histogram_releases() {
+    // Sec. 2.1's composition protocol: two sequences at ε/2 each give ε.
+    let total = Epsilon::new(1.0).unwrap();
+    let mut budget = PrivacyBudget::new(total);
+    let shares = total.split(2);
+
+    let histogram = Histogram::from_counts(Domain::new("x", 8).unwrap(), vec![3; 8]);
+    let mut rng = rng_from_seed(10);
+
+    let e1 = budget.spend("unattributed", shares[0]).unwrap();
+    let _s = UnattributedHistogram::new(e1).release(&histogram, &mut rng);
+
+    let e2 = budget.spend("universal", shares[1]).unwrap();
+    let _h = HierarchicalUniversal::binary(e2).release(&histogram, &mut rng);
+
+    assert!(budget.remaining() < 1e-9);
+    assert!(budget
+        .spend("third", Epsilon::new(0.01).unwrap())
+        .is_err());
+    assert_eq!(budget.ledger().len(), 2);
+}
+
+#[test]
+fn noise_scales_inversely_with_epsilon_share() {
+    // Spending less ε must produce more noise: measure release variance at
+    // two budget levels.
+    let histogram = Histogram::from_counts(Domain::new("x", 4).unwrap(), vec![10; 4]);
+    let truth = [10.0, 10.0, 10.0, 10.0];
+    let trials = 4000;
+
+    let variance_at = |eps: f64, seed: u64| {
+        let task = UnattributedHistogram::new(Epsilon::new(eps).unwrap());
+        let mut rng = rng_from_seed(seed);
+        let mut sq = 0.0;
+        for _ in 0..trials {
+            let rel = task.release(&histogram, &mut rng);
+            sq += (rel.baseline()[0] - truth[0]).powi(2);
+        }
+        sq / trials as f64
+    };
+
+    let v_full = variance_at(1.0, 11);
+    let v_half = variance_at(0.5, 12);
+    // Var ∝ 1/ε²: halving ε quadruples variance.
+    let ratio = v_half / v_full;
+    assert!((ratio - 4.0).abs() < 0.8, "variance ratio {ratio}");
+}
+
+#[test]
+fn post_processing_does_not_touch_the_budget() {
+    // Proposition 2 operationally: inference consumes no ε — it is a pure
+    // function of the released values.
+    let histogram = Histogram::from_counts(Domain::new("x", 8).unwrap(), vec![1; 8]);
+    let mut rng = rng_from_seed(13);
+    let eps = Epsilon::new(0.3).unwrap();
+    let mut budget = PrivacyBudget::new(eps);
+    let spent = budget.spend("release", eps).unwrap();
+
+    let release = HierarchicalUniversal::binary(spent).release(&histogram, &mut rng);
+    // Arbitrarily many post-processing passes later…
+    for _ in 0..5 {
+        let _ = release.infer();
+        let _ = release.infer_rounded();
+    }
+    // …the ledger still shows exactly one spend.
+    assert_eq!(budget.ledger().len(), 1);
+    assert!((budget.spent() - 0.3).abs() < 1e-12);
+}
