@@ -11,7 +11,9 @@ use std::hint::black_box;
 fn noisy_tree(shape: &TreeShape, seed: u64) -> Vec<f64> {
     let mut rng = rng_from_seed(seed);
     let noise = Laplace::centered(shape.height() as f64).expect("positive scale");
-    (0..shape.nodes()).map(|_| 5.0 + noise.sample(&mut rng)).collect()
+    (0..shape.nodes())
+        .map(|_| 5.0 + noise.sample(&mut rng))
+        .collect()
 }
 
 fn aggregation_triplets(shape: &TreeShape) -> Vec<(usize, usize, f64)> {

@@ -47,12 +47,18 @@ impl RunConfig {
                     }
                 }
                 "--trials" => {
-                    let v = args.next().unwrap_or_else(|| usage("--trials needs a value"));
-                    cfg.trials = v.parse().unwrap_or_else(|_| usage("--trials must be an integer"));
+                    let v = args
+                        .next()
+                        .unwrap_or_else(|| usage("--trials needs a value"));
+                    cfg.trials = v
+                        .parse()
+                        .unwrap_or_else(|_| usage("--trials must be an integer"));
                 }
                 "--seed" => {
                     let v = args.next().unwrap_or_else(|| usage("--seed needs a value"));
-                    cfg.seed = v.parse().unwrap_or_else(|_| usage("--seed must be an integer"));
+                    cfg.seed = v
+                        .parse()
+                        .unwrap_or_else(|_| usage("--seed must be an integer"));
                 }
                 "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown flag {other}")),

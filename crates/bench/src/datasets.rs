@@ -64,7 +64,11 @@ pub fn build(id: DatasetId, quick: bool, seeds: SeedStream) -> Histogram {
             SocialNetwork::generate(config, &mut rng).degree_histogram()
         }
         DatasetId::SearchLogsKeywords => {
-            let (top_k, volume) = if quick { (512, 20_000) } else { (20_000, 2_000_000) };
+            let (top_k, volume) = if quick {
+                (512, 20_000)
+            } else {
+                (20_000, 2_000_000)
+            };
             SearchLogs::keyword_frequencies(&mut rng, top_k, volume)
         }
         DatasetId::SearchLogsSeries => {

@@ -62,7 +62,10 @@ pub fn compute(cfg: RunConfig) -> Vec<BranchingPoint> {
                     .collect::<Vec<f64>>()
             },
         );
-        let height = pipeline.release(&histogram, &mut seeds.rng(999)).shape().height();
+        let height = pipeline
+            .release(&histogram, &mut seeds.rng(999))
+            .shape()
+            .height();
         for (s_idx, &size) in sizes.iter().enumerate() {
             let errs: Vec<f64> = per_trial.iter().map(|t| t[s_idx]).collect();
             out.push(BranchingPoint {

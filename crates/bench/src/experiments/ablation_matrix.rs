@@ -40,8 +40,7 @@ pub fn compute(cfg: RunConfig) -> Vec<MatrixPoint> {
             MatrixPoint {
                 n,
                 identity: per_query(
-                    expected_error_via_gram(&wg, &strategy_identity(n), eps)
-                        .expect("full rank"),
+                    expected_error_via_gram(&wg, &strategy_identity(n), eps).expect("full rank"),
                 ),
                 hier2: per_query(
                     expected_error_via_gram(&wg, &strategy_hierarchical(n, 2), eps)

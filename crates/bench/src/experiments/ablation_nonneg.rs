@@ -83,7 +83,13 @@ pub fn run(cfg: RunConfig) -> String {
     let points = compute(cfg);
     let mut t = Table::new(
         "Ablation: Sec. 4.2 non-negativity step on sparse NetTrace (ε = 0.1)",
-        &["range size", "L~ (rounded)", "H̄ raw", "H̄ + nonneg", "raw/nonneg"],
+        &[
+            "range size",
+            "L~ (rounded)",
+            "H̄ raw",
+            "H̄ + nonneg",
+            "raw/nonneg",
+        ],
     );
     for p in &points {
         t.row(vec![

@@ -94,7 +94,12 @@ pub fn run(cfg: RunConfig) -> String {
     let points = compute(cfg);
     let mut t = Table::new(
         "Ablation: 2-D quadtree universal histogram, clustered grid (ε = 0.1)",
-        &["rect side", "raw quadtree", "inferred (Thm 3, k=4)", "raw/inferred"],
+        &[
+            "rect side",
+            "raw quadtree",
+            "inferred (Thm 3, k=4)",
+            "raw/inferred",
+        ],
     );
     for p in &points {
         t.row(vec![

@@ -51,12 +51,8 @@ pub fn run(cfg: RunConfig) -> String {
     let h_noisy = mech.release(&h_query, &h, &mut rng);
     let s_noisy = mech.release(&SortedQuery, &h, &mut rng);
 
-    let h_release = TreeRelease::from_noisy(
-        eps,
-        TreeShape::new(2, 3),
-        4,
-        h_noisy.values().to_vec(),
-    );
+    let h_release =
+        TreeRelease::from_noisy(eps, TreeShape::new(2, 3), 4, h_noisy.values().to_vec());
     let h_inferred = h_release.infer();
     let s_release = SortedRelease::from_noisy(eps, s_noisy.values().to_vec());
     let s_inferred = s_release.inferred();
@@ -111,6 +107,9 @@ mod tests {
         assert!(out.contains("<14, 2, 12, 2, 0, 10, 2>"), "H(I) missing");
         assert!(out.contains("<0, 2, 2, 10>"), "S(I) missing");
         // The paper's fixed noisy sample must infer to its printed answer.
-        assert!(out.contains("<14, 3, 11, 3, 0, 11, 0>"), "H̄ mismatch:\n{out}");
+        assert!(
+            out.contains("<14, 3, 11, 3, 0, 11, 0>"),
+            "H̄ mismatch:\n{out}"
+        );
     }
 }

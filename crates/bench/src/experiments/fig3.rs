@@ -51,14 +51,15 @@ pub fn run(cfg: RunConfig) -> String {
     }
 
     // Aggregate the figure's qualitative claim over many trials.
-    let results = crate::runner::run_trials(cfg.trials.max(20), seeds.substream(1), |_t, mut rng| {
-        let noisy = mech.release(&SortedQuery, &histogram, &mut rng);
-        let rel = SortedRelease::from_noisy(eps, noisy.values().to_vec());
-        let inf = rel.inferred();
-        let base_profile = per_position_squared_error(rel.baseline(), &truth);
-        let inf_profile = per_position_squared_error(&inf, &truth);
-        (base_profile, inf_profile)
-    });
+    let results =
+        crate::runner::run_trials(cfg.trials.max(20), seeds.substream(1), |_t, mut rng| {
+            let noisy = mech.release(&SortedQuery, &histogram, &mut rng);
+            let rel = SortedRelease::from_noisy(eps, noisy.values().to_vec());
+            let inf = rel.inferred();
+            let base_profile = per_position_squared_error(rel.baseline(), &truth);
+            let inf_profile = per_position_squared_error(&inf, &truth);
+            (base_profile, inf_profile)
+        });
     let n = truth.len();
     let mut base_uniform = Vec::new();
     let mut inf_uniform = Vec::new();

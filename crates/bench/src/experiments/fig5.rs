@@ -46,14 +46,13 @@ pub fn compute(cfg: RunConfig) -> Vec<Fig5Row> {
             let eps = Epsilon::new(eps_value).expect("valid ε");
             let task = UnattributedHistogram::new(eps);
             let trial_seeds = seeds.substream(100 + (d_idx * 10 + e_idx) as u64);
-            let outcomes =
-                crate::runner::run_trials(cfg.trials, trial_seeds, |_t, mut rng| {
-                    let release = task.release(&histogram, &mut rng);
-                    let baseline = sum_squared_error(release.baseline(), &truth);
-                    let sort_round = sum_squared_error(&release.sorted_rounded(), &truth);
-                    let inferred = sum_squared_error(&release.inferred(), &truth);
-                    (baseline, sort_round, inferred)
-                });
+            let outcomes = crate::runner::run_trials(cfg.trials, trial_seeds, |_t, mut rng| {
+                let release = task.release(&histogram, &mut rng);
+                let baseline = sum_squared_error(release.baseline(), &truth);
+                let sort_round = sum_squared_error(&release.sorted_rounded(), &truth);
+                let inferred = sum_squared_error(&release.inferred(), &truth);
+                (baseline, sort_round, inferred)
+            });
             let baselines: Vec<f64> = outcomes.iter().map(|o| o.0).collect();
             let sort_rounds: Vec<f64> = outcomes.iter().map(|o| o.1).collect();
             let inferreds: Vec<f64> = outcomes.iter().map(|o| o.2).collect();

@@ -23,7 +23,11 @@ pub struct Fig7Profile {
 
 /// Computes the Fig. 7 profile (the paper uses 200 trials at ε = 1.0).
 pub fn compute(cfg: RunConfig) -> Fig7Profile {
-    let trials = if cfg.quick { cfg.trials.max(20) } else { cfg.trials.max(200) };
+    let trials = if cfg.quick {
+        cfg.trials.max(20)
+    } else {
+        cfg.trials.max(200)
+    };
     let seeds = SeedStream::new(cfg.seed);
     let histogram = build(DatasetId::NetTrace, cfg.quick, seeds);
     let truth: Vec<f64> = histogram
@@ -103,14 +107,20 @@ pub fn run(cfg: RunConfig) -> String {
         format!("{}", interior_base.len()),
         format!("{:.4}", mean(&interior_base)),
         format!("{:.4}", mean(&interior_inf)),
-        format!("{:.1}", mean(&interior_base) / mean(&interior_inf).max(1e-9)),
+        format!(
+            "{:.1}",
+            mean(&interior_base) / mean(&interior_inf).max(1e-9)
+        ),
     ]);
     t.row(vec![
         "count-change boundary".into(),
         format!("{}", boundary_base.len()),
         format!("{:.4}", mean(&boundary_base)),
         format!("{:.4}", mean(&boundary_inf)),
-        format!("{:.1}", mean(&boundary_base) / mean(&boundary_inf).max(1e-9)),
+        format!(
+            "{:.1}",
+            mean(&boundary_base) / mean(&boundary_inf).max(1e-9)
+        ),
     ]);
 
     let d = theory::run_lengths(&profile.truth).len();

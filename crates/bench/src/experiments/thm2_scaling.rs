@@ -156,7 +156,10 @@ mod tests {
         // Baseline unaffected by d.
         let b0 = d_sweep.first().unwrap().baseline;
         let b1 = d_sweep.last().unwrap().baseline;
-        assert!((b0 / b1 - 1.0).abs() < 0.5, "baseline drifted: {b0} vs {b1}");
+        assert!(
+            (b0 / b1 - 1.0).abs() < 0.5,
+            "baseline drifted: {b0} vs {b1}"
+        );
         // Gap S~/S̄ grows with n at d = 1.
         let g0 = n_sweep.first().unwrap().baseline / n_sweep.first().unwrap().inferred;
         let g1 = n_sweep.last().unwrap().baseline / n_sweep.last().unwrap().inferred;

@@ -4,9 +4,9 @@ use hc_noise::SeedStream;
 use rand::rngs::StdRng;
 
 /// Runs `trials` independent repetitions of `body`, each with its own RNG
-/// derived from `seeds`, spread across available cores with crossbeam's
-/// scoped threads. Results are returned in trial order regardless of
-/// scheduling, so parallel and serial runs are bit-identical.
+/// derived from `seeds`, spread across available cores with std's scoped
+/// threads. Results are returned in trial order regardless of scheduling,
+/// so parallel and serial runs are bit-identical.
 pub fn run_trials<T, F>(trials: usize, seeds: SeedStream, body: F) -> Vec<T>
 where
     T: Send,
@@ -18,9 +18,7 @@ where
         .min(trials.max(1));
 
     if threads <= 1 || trials <= 1 {
-        return (0..trials)
-            .map(|t| body(t, seeds.rng(t as u64)))
-            .collect();
+        return (0..trials).map(|t| body(t, seeds.rng(t as u64))).collect();
     }
 
     // Work-stealing on an atomic counter; each worker collects its own
@@ -29,10 +27,10 @@ where
     let body = &body;
     let counter = &counter;
 
-    let mut tagged: Vec<(usize, T)> = crossbeam::thread::scope(|scope| {
+    let mut tagged: Vec<(usize, T)> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let mut local = Vec::new();
                     loop {
                         let t = counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
@@ -49,8 +47,7 @@ where
             .into_iter()
             .flat_map(|h| h.join().expect("trial workers do not panic"))
             .collect()
-    })
-    .expect("crossbeam scope itself does not fail");
+    });
 
     tagged.sort_by_key(|(t, _)| *t);
     tagged.into_iter().map(|(_, r)| r).collect()

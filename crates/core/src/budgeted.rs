@@ -239,7 +239,8 @@ mod tests {
     #[test]
     fn inference_output_is_consistent() {
         let h = histogram(32);
-        let pipeline = BudgetedHierarchical::binary(eps(0.3), BudgetSplit::Geometric { ratio: 1.5 });
+        let pipeline =
+            BudgetedHierarchical::binary(eps(0.3), BudgetSplit::Geometric { ratio: 1.5 });
         let mut rng = rng_from_seed(9);
         let tree = pipeline.release(&h, &mut rng).infer();
         assert!(tree.max_consistency_violation() < 1e-9);

@@ -4,11 +4,7 @@
 /// the paper's `error(Q̃) = Σᵢ E(Q̃[i] − Q[i])²` (the expectation is taken by
 /// averaging this over trials).
 pub fn sum_squared_error(estimate: &[f64], truth: &[f64]) -> f64 {
-    assert_eq!(
-        estimate.len(),
-        truth.len(),
-        "estimate and truth must align"
-    );
+    assert_eq!(estimate.len(), truth.len(), "estimate and truth must align");
     estimate
         .iter()
         .zip(truth)
@@ -18,11 +14,7 @@ pub fn sum_squared_error(estimate: &[f64], truth: &[f64]) -> f64 {
 
 /// Per-position squared errors — the profile plotted in Fig. 7.
 pub fn per_position_squared_error(estimate: &[f64], truth: &[f64]) -> Vec<f64> {
-    assert_eq!(
-        estimate.len(),
-        truth.len(),
-        "estimate and truth must align"
-    );
+    assert_eq!(estimate.len(), truth.len(), "estimate and truth must align");
     estimate
         .iter()
         .zip(truth)
@@ -33,11 +25,7 @@ pub fn per_position_squared_error(estimate: &[f64], truth: &[f64]) -> Vec<f64> {
 /// Mean absolute error, used for the (ε, δ)-usefulness comparison of
 /// Appendix E (Blum et al. bound absolute error).
 pub fn mean_absolute_error(estimate: &[f64], truth: &[f64]) -> f64 {
-    assert_eq!(
-        estimate.len(),
-        truth.len(),
-        "estimate and truth must align"
-    );
+    assert_eq!(estimate.len(), truth.len(), "estimate and truth must align");
     if estimate.is_empty() {
         return 0.0;
     }

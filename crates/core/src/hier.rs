@@ -211,7 +211,9 @@ mod tests {
     fn output_satisfies_all_constraints() {
         let shape = TreeShape::new(3, 4);
         let mut rng = rng_from_seed(81);
-        let noisy: Vec<f64> = (0..shape.nodes()).map(|_| rng.random_range(-5.0..20.0)).collect();
+        let noisy: Vec<f64> = (0..shape.nodes())
+            .map(|_| rng.random_range(-5.0..20.0))
+            .collect();
         let h = hierarchical_inference(&shape, &noisy);
         for v in 0..shape.nodes() {
             if !shape.is_leaf(v) {
@@ -225,7 +227,9 @@ mod tests {
     fn idempotent() {
         let shape = TreeShape::new(2, 4);
         let mut rng = rng_from_seed(82);
-        let noisy: Vec<f64> = (0..shape.nodes()).map(|_| rng.random_range(-5.0..20.0)).collect();
+        let noisy: Vec<f64> = (0..shape.nodes())
+            .map(|_| rng.random_range(-5.0..20.0))
+            .collect();
         let once = hierarchical_inference(&shape, &noisy);
         let twice = hierarchical_inference(&shape, &once);
         assert_close(&once, &twice, 1e-9);
@@ -245,7 +249,9 @@ mod tests {
         // indexed here by node height − 1).
         let shape = TreeShape::new(2, 3);
         let mut rng = rng_from_seed(83);
-        let noisy: Vec<f64> = (0..shape.nodes()).map(|_| rng.random_range(0.0..10.0)).collect();
+        let noisy: Vec<f64> = (0..shape.nodes())
+            .map(|_| rng.random_range(0.0..10.0))
+            .collect();
         let h = hierarchical_inference(&shape, &noisy);
 
         let k = 2.0f64;
@@ -304,7 +310,9 @@ mod tests {
     fn nonnegativity_output_has_no_negative_values() {
         let shape = TreeShape::new(2, 4);
         let mut rng = rng_from_seed(88);
-        let noisy: Vec<f64> = (0..shape.nodes()).map(|_| rng.random_range(-5.0..5.0)).collect();
+        let noisy: Vec<f64> = (0..shape.nodes())
+            .map(|_| rng.random_range(-5.0..5.0))
+            .collect();
         let h = hierarchical_inference(&shape, &noisy);
         let nn = enforce_nonnegativity(&shape, &h);
         assert!(nn.iter().all(|&v| v >= 0.0));
@@ -314,7 +322,9 @@ mod tests {
     fn consistent_tree_range_queries_match_leaf_sums() {
         let shape = TreeShape::new(2, 4);
         let mut rng = rng_from_seed(89);
-        let noisy: Vec<f64> = (0..shape.nodes()).map(|_| rng.random_range(0.0..9.0)).collect();
+        let noisy: Vec<f64> = (0..shape.nodes())
+            .map(|_| rng.random_range(0.0..9.0))
+            .collect();
         let h = hierarchical_inference(&shape, &noisy);
         let tree = ConsistentTree::new(shape, h, 8);
         for (lo, hi) in [(0usize, 7usize), (2, 5), (0, 0), (7, 7), (1, 6)] {
@@ -328,7 +338,9 @@ mod tests {
     fn consistent_tree_aligned_query_equals_node_value() {
         let shape = TreeShape::new(2, 4);
         let mut rng = rng_from_seed(90);
-        let noisy: Vec<f64> = (0..shape.nodes()).map(|_| rng.random_range(0.0..9.0)).collect();
+        let noisy: Vec<f64> = (0..shape.nodes())
+            .map(|_| rng.random_range(0.0..9.0))
+            .collect();
         let h = hierarchical_inference(&shape, &noisy);
         let tree = ConsistentTree::new(shape.clone(), h.clone(), 8);
         // Node 1 covers [0, 3]; its value must equal the range query.

@@ -50,7 +50,7 @@ pub use error::{mean_absolute_error, per_position_squared_error, sum_squared_err
 pub use hier::{enforce_nonnegativity, hierarchical_inference, ConsistentTree};
 pub use isotonic::{isotonic_regression, isotonic_regression_weighted, minmax_reference};
 pub use unattributed::{SortedRelease, UnattributedHistogram};
-pub use weighted::{level_budget_variances, weighted_hierarchical_inference};
 pub use universal::{
-    FlatRelease, FlatUniversal, HierarchicalUniversal, Rounding, RoundedTree, TreeRelease,
+    FlatRelease, FlatUniversal, HierarchicalUniversal, RoundedTree, Rounding, TreeRelease,
 };
+pub use weighted::{level_budget_variances, weighted_hierarchical_inference};

@@ -38,8 +38,7 @@ pub fn error_hier_range(shape: &TreeShape, interval: Interval, epsilon: f64) -> 
 
 /// Theorem 4(iii)'s bound on `error(H̄_q)`: `kℓ · 2ℓ²/ε²` = O(ℓ³/ε²).
 pub fn error_hbar_range_bound(shape: &TreeShape, epsilon: f64) -> f64 {
-    (shape.branching() * shape.height()) as f64
-        * laplace_variance(shape.height() as f64, epsilon)
+    (shape.branching() * shape.height()) as f64 * laplace_variance(shape.height() as f64, epsilon)
 }
 
 /// Theorem 2's bound on `error(S̄)`: `Σᵣ (c₁·log³ nᵣ + c₂)/ε²` where `nᵣ`
@@ -138,7 +137,7 @@ mod tests {
     #[test]
     fn hier_range_error_counts_subtrees() {
         let shape = TreeShape::new(2, 4); // ℓ=4, per-node var = 2·16/ε²
-        // [1, 6] decomposes into 4 nodes: leaf1, [2,3], [4,5], leaf6.
+                                          // [1, 6] decomposes into 4 nodes: leaf1, [2,3], [4,5], leaf6.
         let e = error_hier_range(&shape, Interval::new(1, 6), 1.0);
         assert!((e - 4.0 * 32.0).abs() < 1e-12);
     }

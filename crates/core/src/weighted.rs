@@ -92,11 +92,7 @@ pub fn weighted_hierarchical_inference(
 /// at depth `d` (0 = root) receive `Lap(1/ε_d)` noise, i.e. variance
 /// `2/ε_d²`. `level_epsilons.len()` must equal the tree height.
 pub fn level_budget_variances(shape: &TreeShape, level_epsilons: &[f64]) -> Vec<f64> {
-    assert_eq!(
-        level_epsilons.len(),
-        shape.height(),
-        "one ε per tree level"
-    );
+    assert_eq!(level_epsilons.len(), shape.height(), "one ε per tree level");
     assert!(
         level_epsilons.iter().all(|&e| e > 0.0 && e.is_finite()),
         "level budgets must be positive"

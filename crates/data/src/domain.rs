@@ -38,7 +38,10 @@ impl Domain {
 
     /// The full interval `[0, size-1]`.
     pub fn full_interval(&self) -> Interval {
-        Interval { lo: 0, hi: self.size - 1 }
+        Interval {
+            lo: 0,
+            hi: self.size - 1,
+        }
     }
 
     /// Validates and builds an interval `[lo, hi]` (inclusive).

@@ -75,23 +75,48 @@ impl NetTrace {
         assert!(config.subnet_blocks >= 1, "need at least one subnet block");
         let active = ((config.hosts as f64 * config.active_fraction) as usize).max(1);
 
-        // Active hosts live in contiguous subnet blocks whose starts are
-        // drawn at random: real gateway traffic concentrates in a handful of
-        // address blocks, leaving long empty keyspace stretches.
+        // Active hosts live in contiguous subnet blocks: real gateway
+        // traffic concentrates in a handful of address blocks, leaving long
+        // empty keyspace stretches. Like CIDR subnets, blocks are aligned to
+        // a power-of-two boundary and never overlap (distinct aligned slots
+        // are chosen without replacement), so the clustering — and with it
+        // the empty dyadic regions the Sec. 4.2 heuristic exploits — is a
+        // structural guarantee rather than a property of one random draw.
         let blocks = config.subnet_blocks.min(active);
-        let block_len = (active / blocks).max(1);
-        let mut active_ids: Vec<usize> = Vec::with_capacity(active);
-        let mut guard = 0usize;
-        while active_ids.len() < active && guard < 1000 {
-            let start = rng.random_range(0..config.hosts.saturating_sub(block_len).max(1));
-            let take = block_len.min(active - active_ids.len());
-            active_ids.extend(start..start + take);
-            guard += 1;
+        let block_len = active.div_ceil(blocks).max(1);
+        let align = block_len.next_power_of_two().min(config.hosts.max(1));
+        // Include the partial tail slot when `hosts` is not a multiple of
+        // `align`, so total slot capacity is exactly `hosts` and every
+        // active host can be placed.
+        let slots = config.hosts.div_ceil(align);
+        let mut slot_order: Vec<usize> = (0..slots).collect();
+        slot_order.shuffle(rng);
+        let mut taken = vec![0usize; slots];
+        let mut remaining = active;
+        // One block per chosen slot; a second sweep (reachable only when the
+        // requested block geometry cannot hold all active hosts) tops the
+        // chosen slots up to their full aligned capacity.
+        for block_cap in [block_len, align] {
+            for &slot in &slot_order {
+                if remaining == 0 {
+                    break;
+                }
+                let start = slot * align;
+                let capacity = ((slot + 1) * align).min(config.hosts) - start;
+                let take = block_cap
+                    .min(capacity)
+                    .saturating_sub(taken[slot])
+                    .min(remaining);
+                taken[slot] += take;
+                remaining -= take;
+            }
         }
-        active_ids.sort_unstable();
-        active_ids.dedup();
-        // Overlapping blocks may shrink the active set slightly; that only
-        // deepens sparsity and is harmless to the evaluated properties.
+        debug_assert_eq!(remaining, 0, "slot capacity always covers the active set");
+        let mut active_ids: Vec<usize> = Vec::with_capacity(active);
+        for (slot, &count) in taken.iter().enumerate() {
+            let start = slot * align;
+            active_ids.extend(start..start + count);
+        }
 
         // Zipf popularity ranks are assigned to random positions within the
         // blocks (heavy hitters sit anywhere inside a subnet).

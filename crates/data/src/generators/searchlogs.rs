@@ -78,12 +78,16 @@ impl SearchLogs {
             *lambda *= day_factor * week_factor;
         }
 
-        // News bursts: short exponential-decay spikes at random times. Widths
-        // scale with the series length (1–5 days at paper scale) so the small
-        // test configuration keeps the same quiet/bursty morphology.
+        // News bursts: short exponential-decay spikes at random times within
+        // the *newsworthy era* — the tracked term draws no coverage in the
+        // first third of the window (the published series is flat before the
+        // term enters the news), which keeps the early quiet period sparse
+        // by construction. Widths scale with the series length (1–5 days at
+        // paper scale) so the small test configuration keeps the same
+        // quiet/bursty morphology.
         let base_width = (n / 2048).max(2);
         for _ in 0..config.bursts {
-            let center = rng.random_range(0..n);
+            let center = rng.random_range(n / 3..n);
             let height = config.election_peak * 0.05 * (1.0 + rng.random::<f64>());
             let width = base_width + rng.random_range(0..4 * base_width);
             apply_decay_spike(&mut intensity, center, height, width);

@@ -48,7 +48,10 @@ impl Graph {
     /// Adds the undirected edge `{u, v}`. Self-loops and duplicate edges are
     /// rejected (returns `false`).
     pub fn add_edge(&mut self, u: usize, v: usize) -> bool {
-        assert!(u < self.vertex_count() && v < self.vertex_count(), "vertex out of range");
+        assert!(
+            u < self.vertex_count() && v < self.vertex_count(),
+            "vertex out of range"
+        );
         if u == v || self.has_edge(u, v) {
             return false;
         }

@@ -63,7 +63,10 @@ impl core::fmt::Display for DataError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
             DataError::InvalidInterval { lo, hi, domain } => {
-                write!(f, "invalid interval [{lo}, {hi}] for domain of size {domain}")
+                write!(
+                    f,
+                    "invalid interval [{lo}, {hi}] for domain of size {domain}"
+                )
             }
             DataError::ValueOutOfDomain { value, domain } => {
                 write!(f, "value {value} outside domain of size {domain}")

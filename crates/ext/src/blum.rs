@@ -288,7 +288,9 @@ mod tests {
         let n = 256;
         let mut rng = rng_from_seed(125);
         let make = |scale: u64| {
-            let counts: Vec<u64> = (0..n).map(|i| if i % 16 == 0 { 64 * scale } else { 0 }).collect();
+            let counts: Vec<u64> = (0..n)
+                .map(|i| if i % 16 == 0 { 64 * scale } else { 0 })
+                .collect();
             Histogram::from_counts(Domain::new("x", n).unwrap(), counts)
         };
         let query = Interval::new(3, 10); // inside a mostly-empty stretch

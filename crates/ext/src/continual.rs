@@ -187,9 +187,7 @@ mod tests {
             let raw = release.prefix_series();
             let mono = release.monotonized();
             assert!(mono.windows(2).all(|w| w[0] <= w[1] + 1e-9));
-            assert!(
-                sum_squared_error(&mono, &truth) <= sum_squared_error(&raw, &truth) + 1e-9
-            );
+            assert!(sum_squared_error(&mono, &truth) <= sum_squared_error(&raw, &truth) + 1e-9);
         }
     }
 

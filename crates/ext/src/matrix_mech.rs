@@ -120,9 +120,7 @@ pub fn expected_error(
 /// `(min(a,b)+1) · (n − max(a,b))`. Lets [`expected_error_via_gram`] scale
 /// to domains where materializing all `n(n+1)/2` workload rows is wasteful.
 pub fn workload_all_ranges_gram(n: usize) -> Matrix {
-    Matrix::from_fn(n, n, |a, b| {
-        ((a.min(b) + 1) * (n - a.max(b))) as f64
-    })
+    Matrix::from_fn(n, n, |a, b| ((a.min(b) + 1) * (n - a.max(b))) as f64)
 }
 
 /// Like [`expected_error`], but takes the workload's Gram matrix `WᵀW`

@@ -71,7 +71,8 @@ impl Rect {
     }
 
     fn contains_square(&self, sq: &Square) -> bool {
-        self.x0 <= sq.x && sq.x + sq.side - 1 <= self.x1
+        self.x0 <= sq.x
+            && sq.x + sq.side - 1 <= self.x1
             && self.y0 <= sq.y
             && sq.y + sq.side - 1 <= self.y1
     }
@@ -134,7 +135,10 @@ impl GridHistogram {
 
     /// True count inside a rectangle (for evaluation).
     pub fn rect_count(&self, rect: Rect) -> u64 {
-        assert!(rect.x1 < self.side && rect.y1 < self.side, "rect outside grid");
+        assert!(
+            rect.x1 < self.side && rect.y1 < self.side,
+            "rect outside grid"
+        );
         let counts = self.histogram.counts();
         let mut acc = 0u64;
         for y in rect.y0..=rect.y1 {
@@ -203,7 +207,10 @@ impl QuadtreeRelease {
     /// Rectangle query from the raw noisy tree ("Q̃" analogue): sums the
     /// minimal set of aligned squares tiling the rectangle.
     pub fn rect_query_subtree(&self, rect: Rect) -> f64 {
-        assert!(rect.x1 < self.side && rect.y1 < self.side, "rect outside grid");
+        assert!(
+            rect.x1 < self.side && rect.y1 < self.side,
+            "rect outside grid"
+        );
         let mut acc = 0.0;
         self.accumulate(0, &rect, &mut |node| acc += self.noisy[node]);
         acc
@@ -258,7 +265,10 @@ impl ConsistentQuadtree {
     /// Rectangle query: sums node values over the minimal aligned-square
     /// tiling (consistency makes this equal to summing cells).
     pub fn rect_query(&self, rect: Rect) -> f64 {
-        assert!(rect.x1 < self.side && rect.y1 < self.side, "rect outside grid");
+        assert!(
+            rect.x1 < self.side && rect.y1 < self.side,
+            "rect outside grid"
+        );
         let shape = self.tree.shape().clone();
         let values = self.tree.node_values();
         let mut acc = 0.0;
@@ -297,7 +307,14 @@ mod tests {
 
     #[test]
     fn morton_round_trips() {
-        for (x, y) in [(0u32, 0u32), (1, 0), (0, 1), (5, 9), (255, 128), (65_535, 1)] {
+        for (x, y) in [
+            (0u32, 0u32),
+            (1, 0),
+            (0, 1),
+            (5, 9),
+            (255, 128),
+            (65_535, 1),
+        ] {
             let code = morton_encode(x, y);
             assert_eq!(morton_decode(code), (x, y), "({x},{y})");
         }

@@ -115,12 +115,8 @@ mod tests {
     #[test]
     fn solves_small_spd_system() {
         let a = Matrix::from_rows(2, 2, vec![4.0, 1.0, 1.0, 3.0]);
-        let out = conjugate_gradient(
-            |x| a.matvec(x).unwrap(),
-            &[1.0, 2.0],
-            CgOptions::default(),
-        )
-        .unwrap();
+        let out = conjugate_gradient(|x| a.matvec(x).unwrap(), &[1.0, 2.0], CgOptions::default())
+            .unwrap();
         let direct = a.solve(&[1.0, 2.0]).unwrap();
         for (u, v) in out.x.iter().zip(&direct) {
             assert!((u - v).abs() < 1e-8);
@@ -129,8 +125,8 @@ mod tests {
 
     #[test]
     fn zero_rhs_gives_zero_solution() {
-        let out = conjugate_gradient(|x| x.to_vec(), &[0.0, 0.0, 0.0], CgOptions::default())
-            .unwrap();
+        let out =
+            conjugate_gradient(|x| x.to_vec(), &[0.0, 0.0, 0.0], CgOptions::default()).unwrap();
         assert_eq!(out.x, vec![0.0; 3]);
         assert_eq!(out.iterations, 0);
     }

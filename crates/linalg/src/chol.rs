@@ -85,9 +85,7 @@ impl Cholesky {
 
     /// Log-determinant of `A` (twice the log of the product of pivots).
     pub fn log_det(&self) -> f64 {
-        2.0 * (0..self.l.rows())
-            .map(|i| self.l[(i, i)].ln())
-            .sum::<f64>()
+        2.0 * (0..self.l.rows()).map(|i| self.l[(i, i)].ln()).sum::<f64>()
     }
 }
 

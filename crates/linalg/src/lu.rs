@@ -40,9 +40,13 @@ pub fn lu(a: &Matrix) -> Result<LuDecomposition, LinalgError> {
     for col in 0..n {
         // Partial pivoting: the largest magnitude in the column at/below the
         // diagonal.
-        let (pivot_row, pivot_val) = (col..n)
-            .map(|r| (r, f[(r, col)].abs()))
-            .fold((col, -1.0), |best, cur| if cur.1 > best.1 { cur } else { best });
+        let (pivot_row, pivot_val) =
+            (col..n)
+                .map(|r| (r, f[(r, col)].abs()))
+                .fold(
+                    (col, -1.0),
+                    |best, cur| if cur.1 > best.1 { cur } else { best },
+                );
         if pivot_val < PIVOT_EPS {
             return Err(LinalgError::Singular { pivot: col });
         }
@@ -168,7 +172,11 @@ mod tests {
         let b: Vec<f64> = (0..n).map(|_| next()).collect();
         let x = a.solve(&b).unwrap();
         let r = a.matvec(&x).unwrap();
-        let resid: f64 = r.iter().zip(&b).map(|(u, v)| (u - v).abs()).fold(0.0, f64::max);
+        let resid: f64 = r
+            .iter()
+            .zip(&b)
+            .map(|(u, v)| (u - v).abs())
+            .fold(0.0, f64::max);
         assert!(resid < 1e-9, "residual {resid}");
     }
 }

@@ -271,10 +271,7 @@ mod tests {
         let a = sample(); // 2x3
         let b = Matrix::from_rows(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
         let c = a.matmul(&b).unwrap();
-        assert_eq!(
-            c,
-            Matrix::from_rows(2, 2, vec![58.0, 64.0, 139.0, 154.0])
-        );
+        assert_eq!(c, Matrix::from_rows(2, 2, vec![58.0, 64.0, 139.0, 154.0]));
     }
 
     #[test]

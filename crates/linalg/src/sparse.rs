@@ -150,7 +150,11 @@ mod tests {
         // [ 1 0 2 ]
         // [ 0 0 0 ]
         // [ 3 4 0 ]
-        CsrMatrix::from_triplets(3, 3, vec![(0, 0, 1.0), (2, 1, 4.0), (0, 2, 2.0), (2, 0, 3.0)])
+        CsrMatrix::from_triplets(
+            3,
+            3,
+            vec![(0, 0, 1.0), (2, 1, 4.0), (0, 2, 2.0), (2, 0, 3.0)],
+        )
     }
 
     #[test]

@@ -93,7 +93,11 @@ impl PrivacyBudget {
     }
 
     /// Attempts to spend `amount` for a release labelled `purpose`.
-    pub fn spend(&mut self, purpose: impl Into<String>, amount: Epsilon) -> Result<Epsilon, BudgetError> {
+    pub fn spend(
+        &mut self,
+        purpose: impl Into<String>,
+        amount: Epsilon,
+    ) -> Result<Epsilon, BudgetError> {
         let a = amount.value();
         // Tolerate float dust from equal splits summing to the total.
         if self.spent + a > self.total * (1.0 + 1e-12) {

@@ -116,10 +116,10 @@ mod tests {
     fn intervals_scale_with_sensitivity_and_epsilon() {
         let h = Histogram::from_counts(Domain::new("x", 4).unwrap(), vec![1; 4]);
         let mut rng = rng_from_seed(18);
-        let strong = LaplaceMechanism::new(Epsilon::new(1.0).unwrap())
-            .release(&UnitQuery, &h, &mut rng);
-        let weak = LaplaceMechanism::new(Epsilon::new(0.1).unwrap())
-            .release(&UnitQuery, &h, &mut rng);
+        let strong =
+            LaplaceMechanism::new(Epsilon::new(1.0).unwrap()).release(&UnitQuery, &h, &mut rng);
+        let weak =
+            LaplaceMechanism::new(Epsilon::new(0.1).unwrap()).release(&UnitQuery, &h, &mut rng);
         let w_strong = strong.confidence_interval(0, 0.95).width();
         let w_weak = weak.confidence_interval(0, 0.95).width();
         assert!((w_weak / w_strong - 10.0).abs() < 1e-9);

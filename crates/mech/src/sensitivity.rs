@@ -59,7 +59,9 @@ mod tests {
 
     fn random_relation(seed: u64, domain_size: usize, records: usize) -> Relation {
         let mut rng = hc_noise::rng_from_seed(seed);
-        let values = (0..records).map(|_| rng.random_range(0..domain_size)).collect();
+        let values = (0..records)
+            .map(|_| rng.random_range(0..domain_size))
+            .collect();
         Relation::from_records(Domain::new("x", domain_size).unwrap(), values).unwrap()
     }
 

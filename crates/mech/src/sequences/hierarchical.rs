@@ -389,9 +389,12 @@ mod tests {
         let values = q.evaluate(&h);
         assert_eq!(values.len(), shape.nodes());
         assert_eq!(values[0], 15.0); // root = total
-        // Padded leaves contribute zero.
+                                     // Padded leaves contribute zero.
         let first_leaf = shape.leaf_node(0);
-        assert_eq!(&values[first_leaf..], &[1.0, 2.0, 3.0, 4.0, 5.0, 0.0, 0.0, 0.0]);
+        assert_eq!(
+            &values[first_leaf..],
+            &[1.0, 2.0, 3.0, 4.0, 5.0, 0.0, 0.0, 0.0]
+        );
     }
 
     #[test]

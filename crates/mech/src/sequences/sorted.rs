@@ -54,10 +54,7 @@ mod tests {
 
     #[test]
     fn output_is_always_nondecreasing() {
-        let h = Histogram::from_counts(
-            Domain::new("x", 6).unwrap(),
-            vec![9, 1, 4, 4, 0, 7],
-        );
+        let h = Histogram::from_counts(Domain::new("x", 6).unwrap(), vec![9, 1, 4, 4, 0, 7]);
         let s = SortedQuery.evaluate(&h);
         assert!(s.windows(2).all(|w| w[0] <= w[1]));
     }

@@ -190,7 +190,10 @@ mod tests {
         let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
         // std of the sample mean is sqrt(2*4/200000) ~ 0.0063; allow 5 sigma.
         assert!(mean.abs() < 0.05, "mean = {mean}");
-        assert!((var - d.variance()).abs() / d.variance() < 0.05, "var = {var}");
+        assert!(
+            (var - d.variance()).abs() / d.variance() < 0.05,
+            "var = {var}"
+        );
     }
 
     #[test]

@@ -130,7 +130,12 @@ mod tests {
         assert_eq!(hist.len(), 64);
         assert_eq!(hist.iter().sum::<u64>(), 100_000);
         // Rank 1 should dominate rank 64 by roughly 64^1.2 ≈ 147.
-        assert!(hist[0] > hist[63] * 20, "head {} tail {}", hist[0], hist[63]);
+        assert!(
+            hist[0] > hist[63] * 20,
+            "head {} tail {}",
+            hist[0],
+            hist[63]
+        );
     }
 
     #[test]

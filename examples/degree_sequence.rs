@@ -61,9 +61,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut graphical_sorted = graphical_f64.clone();
     graphical_sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
     let graphical_err = sum_squared_error(&graphical_sorted, &truth);
-    println!(
-        "  error(S̄ → graphical repair) = {graphical_err:.1}   (now a valid degree sequence)",
-    );
+    println!("  error(S̄ → graphical repair) = {graphical_err:.1}   (now a valid degree sequence)",);
 
     // Show a slice of the tail (the hubs) — where individual degrees matter.
     println!("\nTop-5 degrees (true vs private estimate):");

@@ -50,7 +50,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("one /18 block", Interval::new(n / 2, n / 2 + n / 64 - 1)),
         ("single host", Interval::new(3 * n / 4, 3 * n / 4)),
     ];
-    println!("{:<18} {:>12} {:>12} {:>12}", "query", "true", "H̄", "H~ raw");
+    println!(
+        "{:<18} {:>12} {:>12} {:>12}",
+        "query", "true", "H̄", "H~ raw"
+    );
     for (label, q) in queries {
         println!(
             "{:<18} {:>12} {:>12.0} {:>12.1}",
@@ -63,7 +66,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The sparse-region effect: average error over empty unit ranges, with
     // and without the Sec. 4.2 zeroing, against the flat baseline.
-    let empty_bins: Vec<usize> = (0..n).filter(|&i| histogram.counts()[i] == 0).take(2000).collect();
+    let empty_bins: Vec<usize> = (0..n)
+        .filter(|&i| histogram.counts()[i] == 0)
+        .take(2000)
+        .collect();
     let raw_tree = release.infer();
     let flat = FlatUniversal::new(epsilon).release(&histogram, &mut rng);
     let (mut flat_err, mut raw_err, mut zeroed_err) = (0.0, 0.0, 0.0);

@@ -25,24 +25,36 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Step 2: the data owner releases with the Laplace mechanism. This is
     // the only step that touches private data.
     let release = task.release(&histogram, &mut rng);
-    println!("S~ (noisy sorted counts)  = {:?}", rounded(release.baseline()));
+    println!(
+        "S~ (noisy sorted counts)  = {:?}",
+        rounded(release.baseline())
+    );
     // Step 3: constrained inference — minimum-L2 ordered sequence.
     let inferred = release.inferred();
     println!("S̄ (after inference)      = {:?}", rounded(&inferred));
-    println!("true sorted counts        = {:?}\n", histogram.sorted_counts());
+    println!(
+        "true sorted counts        = {:?}\n",
+        histogram.sorted_counts()
+    );
 
     // ---- Task 2: universal histogram (Sec. 4) -----------------------------
     // Step 1: a binary tree of interval counts (sensitivity ℓ = 3 here).
     let pipeline = HierarchicalUniversal::binary(epsilon);
     // Step 2: private release of all 7 tree counts.
     let tree_release = pipeline.release(&histogram, &mut rng);
-    println!("H~ (noisy tree)           = {:?}", rounded(tree_release.noisy_values()));
+    println!(
+        "H~ (noisy tree)           = {:?}",
+        rounded(tree_release.noisy_values())
+    );
 
     // The raw release is inconsistent: the root rarely equals the total of
     // its children. Constrained inference fixes that and provably reduces
     // range-query error (Theorem 4).
     let tree = tree_release.infer();
-    println!("H̄ (consistent tree)      = {:?}", rounded(tree.node_values()));
+    println!(
+        "H̄ (consistent tree)      = {:?}",
+        rounded(tree.node_values())
+    );
     println!(
         "consistency violation     = {:.2e}\n",
         tree.max_consistency_violation()

@@ -72,8 +72,8 @@ pub mod prelude {
     pub use hc_core::{
         enforce_nonnegativity, hierarchical_inference, isotonic_regression, mean_absolute_error,
         sum_squared_error, weighted_hierarchical_inference, BudgetSplit, BudgetedHierarchical,
-        ConsistentTree, FlatUniversal, HierarchicalUniversal, Rounding, RoundedTree,
-        SortedRelease, TreeRelease, UnattributedHistogram,
+        ConsistentTree, FlatUniversal, HierarchicalUniversal, RoundedTree, Rounding, SortedRelease,
+        TreeRelease, UnattributedHistogram,
     };
     pub use hc_data::{Domain, Graph, Histogram, Interval, Relation};
     pub use hc_mech::{
@@ -92,8 +92,8 @@ mod facade_tests {
         let domain = Domain::new("x", 8).unwrap();
         let histogram = Histogram::from_counts(domain, vec![1, 2, 3, 4, 0, 0, 0, 5]);
         let mut rng = rng_from_seed(1);
-        let release = HierarchicalUniversal::binary(Epsilon::new(0.5).unwrap())
-            .release(&histogram, &mut rng);
+        let release =
+            HierarchicalUniversal::binary(Epsilon::new(0.5).unwrap()).release(&histogram, &mut rng);
         let tree = release.infer();
         assert!(tree.max_consistency_violation() < 1e-9);
     }

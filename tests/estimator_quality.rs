@@ -27,7 +27,10 @@ fn isotonic_inference_never_increases_error_over_many_trials() {
         let rel = task.release(&histogram, &mut rng);
         let base = sum_squared_error(rel.baseline(), &truth);
         let inf = sum_squared_error(&rel.inferred(), &truth);
-        assert!(inf <= base + 1e-9, "inference increased error: {inf} > {base}");
+        assert!(
+            inf <= base + 1e-9,
+            "inference increased error: {inf} > {base}"
+        );
     }
 }
 
@@ -70,7 +73,10 @@ fn hbar_is_unbiased_for_range_queries() {
     let trials = 2000;
     let mut total = 0.0;
     for _ in 0..trials {
-        total += pipeline.release(&histogram, &mut rng).infer().range_query(q);
+        total += pipeline
+            .release(&histogram, &mut rng)
+            .infer()
+            .range_query(q);
     }
     let mean = total / trials as f64;
     // Std error of the mean ≈ sqrt(var/trials); var ≤ kℓ·2ℓ²/ε² = 6272.

@@ -38,8 +38,7 @@ fn fixed_noisy_tree_infers_to_paper_answer() {
 #[test]
 fn fixed_noisy_sorted_sequence_infers_to_paper_answer() {
     // S~(I) = ⟨1, 2, 0, 11⟩ → S̄(I) = ⟨1, 1, 1, 11⟩ (Fig. 2b, third row).
-    let release =
-        SortedRelease::from_noisy(Epsilon::new(1.0).unwrap(), vec![1.0, 2.0, 0.0, 11.0]);
+    let release = SortedRelease::from_noisy(Epsilon::new(1.0).unwrap(), vec![1.0, 2.0, 0.0, 11.0]);
     let inferred = release.inferred();
     let expected = [1.0, 1.0, 1.0, 11.0];
     for (got, want) in inferred.iter().zip(&expected) {

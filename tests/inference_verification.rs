@@ -150,8 +150,7 @@ fn root_estimate_variance_shrinks_as_theory_predicts() {
     // variance must be far below the raw root's 2ℓ²/ε².
     let shape = TreeShape::new(2, 8);
     let n = shape.leaves();
-    let histogram =
-        Histogram::from_counts(Domain::new("x", n).expect("non-empty"), vec![2; n]);
+    let histogram = Histogram::from_counts(Domain::new("x", n).expect("non-empty"), vec![2; n]);
     let eps = Epsilon::new(1.0).unwrap();
     let pipeline = HierarchicalUniversal::binary(eps);
     let truth = (2 * n) as f64;

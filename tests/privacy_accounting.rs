@@ -78,9 +78,7 @@ fn budget_composes_across_histogram_releases() {
     let _h = HierarchicalUniversal::binary(e2).release(&histogram, &mut rng);
 
     assert!(budget.remaining() < 1e-9);
-    assert!(budget
-        .spend("third", Epsilon::new(0.01).unwrap())
-        .is_err());
+    assert!(budget.spend("third", Epsilon::new(0.01).unwrap()).is_err());
     assert_eq!(budget.ledger().len(), 2);
 }
 

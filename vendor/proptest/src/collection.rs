@@ -1,0 +1,66 @@
+//! Collection strategies (`proptest::collection`).
+
+use crate::{Strategy, TestRng};
+use rand::Rng;
+
+/// Size specification for collection strategies: an exact size or a range.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi_exclusive: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self {
+            lo: n,
+            hi_exclusive: n + 1,
+        }
+    }
+}
+
+impl From<core::ops::Range<usize>> for SizeRange {
+    fn from(r: core::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        Self {
+            lo: r.start,
+            hi_exclusive: r.end,
+        }
+    }
+}
+
+impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+        let (lo, hi) = r.into_inner();
+        assert!(lo <= hi, "empty size range");
+        Self {
+            lo,
+            hi_exclusive: hi + 1,
+        }
+    }
+}
+
+/// Strategy for `Vec<T>` with element strategy `S`.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+/// Generates vectors whose length is drawn from `size` and whose elements
+/// are drawn from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = rng.random_range(self.size.lo..self.size.hi_exclusive);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}

@@ -1,0 +1,64 @@
+//! Offline stand-in for the subset of the `rand` crate (0.9 API) used by this
+//! workspace.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! provides the exact surface the workspace consumes — [`Rng`],
+//! [`SeedableRng`], [`rngs::StdRng`], and [`seq::SliceRandom`] — backed by a
+//! seeded xoshiro256++ generator. All workspace randomness is seeded through
+//! `hc_noise::seeds`, so OS entropy is deliberately not offered: every RNG
+//! must be constructed from an explicit seed.
+
+#![forbid(unsafe_code)]
+
+pub mod rngs;
+pub mod seq;
+
+mod uniform;
+
+pub use uniform::{SampleRange, StandardUniform};
+
+/// The subset of `rand::Rng` the workspace uses.
+///
+/// `next_u64` is the only required method; `random` and `random_range`
+/// follow the rand 0.9 naming.
+pub trait Rng {
+    /// Returns the next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Samples a value from the standard uniform distribution of `T`
+    /// (`[0, 1)` for floats, full range for integers, fair coin for `bool`).
+    fn random<T: StandardUniform>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Samples uniformly from a half-open or inclusive range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn random_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        self.random::<f64>() < p
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// The subset of `rand::SeedableRng` the workspace uses.
+pub trait SeedableRng: Sized {
+    /// Constructs the generator from a 64-bit seed (via SplitMix64 expansion).
+    fn seed_from_u64(seed: u64) -> Self;
+}
