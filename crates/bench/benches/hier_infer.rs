@@ -1,12 +1,24 @@
-//! Criterion bench: hierarchical inference — the Theorem-3 closed form vs
-//! generic solvers (dense OLS, sparse CG) on the same problem.
+//! Criterion bench: hierarchical inference — the Theorem-3 reference oracle
+//! vs the level-indexed engine (single trial, batched trials, parallel
+//! subtree passes), and both vs generic solvers (dense OLS, sparse CG).
+//!
+//! The headline comparison is the ISSUE-2 acceptance criterion: on a k = 2
+//! tree with 2^20 leaves, batched engine trials must run ≥ 2× faster per
+//! trial than `hierarchical_inference`. Pass `--quick` for a smoke run.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use hc_core::hierarchical_inference;
+use hc_core::{hierarchical_inference, BatchInference, LevelTree};
 use hc_linalg::{conjugate_gradient, CgOptions, CsrMatrix, Matrix};
 use hc_mech::TreeShape;
 use hc_noise::{rng_from_seed, Laplace};
 use std::hint::black_box;
+
+/// Heights compared head-to-head; 21 is the 2^20-leaf acceptance shape.
+const HEADLINE_HEIGHTS: [usize; 3] = [11, 17, 21];
+
+/// Trials per iteration in the batched benchmarks (per-trial time is the
+/// reported number via `Throughput::Elements`).
+const BATCH_TRIALS: usize = 4;
 
 fn noisy_tree(shape: &TreeShape, seed: u64) -> Vec<f64> {
     let mut rng = rng_from_seed(seed);
@@ -27,9 +39,10 @@ fn aggregation_triplets(shape: &TreeShape) -> Vec<(usize, usize, f64)> {
     triplets
 }
 
-fn bench_closed_form(c: &mut Criterion) {
-    let mut group = c.benchmark_group("hier_infer_closed_form");
-    for &height in &[11usize, 14, 17] {
+/// The reference oracle: per-node weights, allocating per call.
+fn bench_reference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hier_infer_reference");
+    for &height in &HEADLINE_HEIGHTS {
         let shape = TreeShape::new(2, height);
         let noisy = noisy_tree(&shape, 7);
         group.throughput(Throughput::Elements(shape.nodes() as u64));
@@ -38,6 +51,81 @@ fn bench_closed_form(c: &mut Criterion) {
             &noisy,
             |b, noisy| {
                 b.iter(|| hierarchical_inference(black_box(&shape), black_box(noisy)));
+            },
+        );
+    }
+    group.finish();
+}
+
+/// The engine, one trial per call (fresh output vector, reused tables).
+fn bench_engine_single(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hier_infer_engine_single");
+    for &height in &HEADLINE_HEIGHTS {
+        let shape = TreeShape::new(2, height);
+        let noisy = noisy_tree(&shape, 7);
+        let tree = LevelTree::new(&shape);
+        group.throughput(Throughput::Elements(shape.nodes() as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(shape.leaves()),
+            &noisy,
+            |b, noisy| {
+                b.iter(|| tree.infer(black_box(noisy)));
+            },
+        );
+    }
+    group.finish();
+}
+
+/// The engine over a batch of trials with fully reused buffers; throughput
+/// counts nodes × trials, so elem/s stays comparable with the single-trial
+/// groups while the per-iteration time covers the whole batch.
+fn bench_engine_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hier_infer_engine_batch");
+    for &height in &HEADLINE_HEIGHTS {
+        let shape = TreeShape::new(2, height);
+        let n = shape.nodes();
+        let mut batch = Vec::with_capacity(BATCH_TRIALS * n);
+        for t in 0..BATCH_TRIALS {
+            batch.extend(noisy_tree(&shape, 7 + t as u64));
+        }
+        let mut engine = BatchInference::for_shape(&shape);
+        let mut out = Vec::new();
+        group.throughput(Throughput::Elements((n * BATCH_TRIALS) as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(shape.leaves()),
+            &batch,
+            |b, batch| {
+                b.iter(|| {
+                    engine.infer_batch_into(black_box(batch), &mut out);
+                    black_box(out.last().copied())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+/// The engine with the root's subtrees split across scoped threads (one
+/// huge tree, single trial).
+fn bench_engine_parallel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hier_infer_engine_parallel");
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    for &height in &[17usize, 21] {
+        let shape = TreeShape::new(2, height);
+        let noisy = noisy_tree(&shape, 7);
+        let tree = LevelTree::new(&shape);
+        let (mut z, mut out) = (Vec::new(), Vec::new());
+        group.throughput(Throughput::Elements(shape.nodes() as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(shape.leaves()),
+            &noisy,
+            |b, noisy| {
+                b.iter(|| {
+                    tree.infer_parallel_into(black_box(noisy), &mut z, &mut out, threads);
+                    black_box(out[0])
+                });
             },
         );
     }
@@ -91,5 +179,13 @@ fn bench_dense_ols(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_closed_form, bench_sparse_cg, bench_dense_ols);
+criterion_group!(
+    benches,
+    bench_reference,
+    bench_engine_single,
+    bench_engine_batch,
+    bench_engine_parallel,
+    bench_sparse_cg,
+    bench_dense_ols
+);
 criterion_main!(benches);

@@ -1,9 +1,10 @@
 //! Ablation (Secs. 4.2 & 5.2): the non-negativity subtree-zeroing step.
 //! On sparse data it is the reason `H̄` can beat `L̃` even at unit ranges.
 
-use hc_core::{FlatUniversal, HierarchicalUniversal, Rounding};
+use hc_core::{BatchInference, FlatUniversal, HierarchicalUniversal, Rounding};
 use hc_data::RangeWorkload;
 use hc_mech::Epsilon;
+use hc_mech::TreeShape;
 use hc_noise::SeedStream;
 
 use crate::datasets::{build, DatasetId};
@@ -38,28 +39,33 @@ pub fn compute(cfg: RunConfig) -> Vec<NonNegPoint> {
         .collect();
     let queries = if cfg.quick { 100 } else { 1000 };
 
-    let per_trial = crate::runner::run_trials(cfg.trials, seeds.substream(1), |_t, mut rng| {
-        let flat = flat_pipeline.release(&histogram, &mut rng);
-        let tree = tree_pipeline.release(&histogram, &mut rng);
-        let raw = tree.infer();
-        let nonneg = tree.infer_rounded();
-        sizes
-            .iter()
-            .map(|&size| {
-                let workload = RangeWorkload::new(n, size);
-                let (mut fe, mut re, mut ne) = (0.0, 0.0, 0.0);
-                for _ in 0..queries {
-                    let q = workload.sample(&mut rng);
-                    let truth = histogram.range_count(q) as f64;
-                    fe += (flat.range_query(q, Rounding::NonNegativeInteger) - truth).powi(2);
-                    re += (raw.range_query(q) - truth).powi(2);
-                    ne += (nonneg.range_query(q) - truth).powi(2);
-                }
-                let scale = queries as f64;
-                (fe / scale, re / scale, ne / scale)
-            })
-            .collect::<Vec<(f64, f64, f64)>>()
-    });
+    let per_trial = crate::runner::run_trials_with(
+        cfg.trials,
+        seeds.substream(1),
+        || BatchInference::for_shape(&TreeShape::for_domain(n, 2)),
+        |_t, mut rng, engine| {
+            let flat = flat_pipeline.release(&histogram, &mut rng);
+            let tree = tree_pipeline.release(&histogram, &mut rng);
+            let raw = tree.infer_with(engine);
+            let nonneg = tree.infer_rounded_with(engine);
+            sizes
+                .iter()
+                .map(|&size| {
+                    let workload = RangeWorkload::new(n, size);
+                    let (mut fe, mut re, mut ne) = (0.0, 0.0, 0.0);
+                    for _ in 0..queries {
+                        let q = workload.sample(&mut rng);
+                        let truth = histogram.range_count(q) as f64;
+                        fe += (flat.range_query(q, Rounding::NonNegativeInteger) - truth).powi(2);
+                        re += (raw.range_query(q) - truth).powi(2);
+                        ne += (nonneg.range_query(q) - truth).powi(2);
+                    }
+                    let scale = queries as f64;
+                    (fe / scale, re / scale, ne / scale)
+                })
+                .collect::<Vec<(f64, f64, f64)>>()
+        },
+    );
 
     sizes
         .iter()

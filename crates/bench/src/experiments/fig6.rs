@@ -1,7 +1,7 @@
 //! Fig. 6: universal histograms — range-query error vs range size for `L̃`,
 //! `H̃`, and `H̄` on NetTrace and Search Logs across ε.
 
-use hc_core::{FlatUniversal, HierarchicalUniversal, Rounding};
+use hc_core::{BatchInference, FlatUniversal, HierarchicalUniversal, Rounding};
 use hc_data::{dyadic_sizes, RangeWorkload};
 use hc_mech::{Epsilon, TreeShape};
 use hc_noise::SeedStream;
@@ -58,30 +58,36 @@ pub fn compute_curve(
     let queries_per_size = ranges_per_size(cfg);
 
     // Each trial returns, per size, the (flat, subtree, inferred) sums of
-    // squared errors over its random ranges.
-    let per_trial = crate::runner::run_trials(cfg.trials, seeds.substream(1), |_t, mut rng| {
-        let flat = flat_pipeline.release(&histogram, &mut rng);
-        let tree = tree_pipeline.release(&histogram, &mut rng);
-        let consistent = tree.infer_rounded();
-        let mut sums = Vec::with_capacity(sizes.len());
-        for &size in &sizes {
-            let workload = RangeWorkload::new(n, size);
-            let (mut fe, mut se, mut ie) = (0.0, 0.0, 0.0);
-            for _ in 0..queries_per_size {
-                let q = workload.sample(&mut rng);
-                let truth = histogram.range_count(q) as f64;
-                let f = flat.range_query(q, Rounding::NonNegativeInteger);
-                let s = tree.range_query_subtree(q, Rounding::NonNegativeInteger);
-                let i = consistent.range_query(q);
-                fe += (f - truth) * (f - truth);
-                se += (s - truth) * (s - truth);
-                ie += (i - truth) * (i - truth);
+    // squared errors over its random ranges. Workers share one inference
+    // engine per thread so the Theorem-3 passes reuse scratch across trials.
+    let per_trial = crate::runner::run_trials_with(
+        cfg.trials,
+        seeds.substream(1),
+        || BatchInference::for_shape(&shape),
+        |_t, mut rng, engine| {
+            let flat = flat_pipeline.release(&histogram, &mut rng);
+            let tree = tree_pipeline.release(&histogram, &mut rng);
+            let consistent = tree.infer_rounded_with(engine);
+            let mut sums = Vec::with_capacity(sizes.len());
+            for &size in &sizes {
+                let workload = RangeWorkload::new(n, size);
+                let (mut fe, mut se, mut ie) = (0.0, 0.0, 0.0);
+                for _ in 0..queries_per_size {
+                    let q = workload.sample(&mut rng);
+                    let truth = histogram.range_count(q) as f64;
+                    let f = flat.range_query(q, Rounding::NonNegativeInteger);
+                    let s = tree.range_query_subtree(q, Rounding::NonNegativeInteger);
+                    let i = consistent.range_query(q);
+                    fe += (f - truth) * (f - truth);
+                    se += (s - truth) * (s - truth);
+                    ie += (i - truth) * (i - truth);
+                }
+                let scale = queries_per_size as f64;
+                sums.push((fe / scale, se / scale, ie / scale));
             }
-            let scale = queries_per_size as f64;
-            sums.push((fe / scale, se / scale, ie / scale));
-        }
-        sums
-    });
+            sums
+        },
+    );
 
     sizes
         .iter()

@@ -2,7 +2,7 @@
 //! `(2(ℓ−1)(k−1) − k)/3` — a factor of 9.33 in the paper's height-16
 //! binary tree.
 
-use hc_core::{theory, HierarchicalUniversal, Rounding};
+use hc_core::{theory, BatchInference, HierarchicalUniversal, Rounding};
 use hc_data::{Domain, Histogram};
 use hc_mech::{Epsilon, TreeShape};
 use hc_noise::SeedStream;
@@ -43,16 +43,21 @@ pub fn compute_at_height(cfg: RunConfig, height: usize) -> Thm4Outcome {
 
     let seeds = SeedStream::new(cfg.seed);
     let trials = cfg.trials.max(if cfg.quick { 30 } else { 200 });
-    let outcomes = crate::runner::run_trials(trials, seeds, |_t, mut rng| {
-        let release = pipeline.release(&histogram, &mut rng);
-        // No rounding: Theorem 4 is about the linear estimators themselves.
-        let subtree = release.range_query_subtree(q, Rounding::None);
-        let inferred = release.infer().range_query(q);
-        (
-            (subtree - truth) * (subtree - truth),
-            (inferred - truth) * (inferred - truth),
-        )
-    });
+    let outcomes = crate::runner::run_trials_with(
+        trials,
+        seeds,
+        || BatchInference::for_shape(&shape),
+        |_t, mut rng, engine| {
+            let release = pipeline.release(&histogram, &mut rng);
+            // No rounding: Theorem 4 is about the linear estimators themselves.
+            let subtree = release.range_query_subtree(q, Rounding::None);
+            let inferred = release.infer_with(engine).range_query(q);
+            (
+                (subtree - truth) * (subtree - truth),
+                (inferred - truth) * (inferred - truth),
+            )
+        },
+    );
     let subtree: Vec<f64> = outcomes.iter().map(|o| o.0).collect();
     let inferred: Vec<f64> = outcomes.iter().map(|o| o.1).collect();
 

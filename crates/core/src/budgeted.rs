@@ -14,8 +14,8 @@ use hc_mech::{Epsilon, HierarchicalQuery, QuerySequence, TreeShape};
 use hc_noise::Laplace;
 use rand::Rng;
 
+use crate::engine::LevelTree;
 use crate::hier::ConsistentTree;
-use crate::weighted::{level_budget_variances, weighted_hierarchical_inference};
 
 /// How the total ε is divided among the tree's levels (depth 0 = root).
 #[derive(Debug, Clone, PartialEq)]
@@ -102,7 +102,7 @@ impl BudgetedHierarchical {
         let query = HierarchicalQuery::new(self.branching);
         let shape = query.shape(histogram.len());
         let level_eps = self.split.level_epsilons(self.epsilon, shape.height());
-        let variances = level_budget_variances(&shape, &level_eps);
+        let level_variances: Vec<f64> = level_eps.iter().map(|&e| 2.0 / (e * e)).collect();
 
         let mut values = query.evaluate(histogram);
         for (depth, &eps_d) in level_eps.iter().enumerate() {
@@ -115,7 +115,7 @@ impl BudgetedHierarchical {
             shape,
             domain_size: histogram.len(),
             noisy: values,
-            variances,
+            level_variances,
             epsilon: self.epsilon,
         }
     }
@@ -127,7 +127,10 @@ pub struct BudgetedTreeRelease {
     shape: TreeShape,
     domain_size: usize,
     noisy: Vec<f64>,
-    variances: Vec<f64>,
+    /// One noise variance per tree level — the single source of truth the
+    /// GLS engine compiles its weight tables from; the per-node view is
+    /// derived on demand.
+    level_variances: Vec<f64>,
     epsilon: Epsilon,
 }
 
@@ -147,9 +150,21 @@ impl BudgetedTreeRelease {
         &self.noisy
     }
 
-    /// The per-node noise variances of the release.
-    pub fn variances(&self) -> &[f64] {
-        &self.variances
+    /// The per-node noise variances of the release, expanded on demand from
+    /// [`Self::level_variances`] (each node carries its level's variance).
+    pub fn variances(&self) -> Vec<f64> {
+        let mut out = vec![0.0f64; self.shape.nodes()];
+        for (d, &var) in self.level_variances.iter().enumerate() {
+            for v in self.shape.level(d) {
+                out[v] = var;
+            }
+        }
+        out
+    }
+
+    /// The per-level noise variances (depth 0 = root).
+    pub fn level_variances(&self) -> &[f64] {
+        &self.level_variances
     }
 
     /// Raw subtree-sum range query (the `H̃` analogue).
@@ -167,9 +182,18 @@ impl BudgetedTreeRelease {
     }
 
     /// GLS constrained inference (the `H̄` analogue, weighted).
+    ///
+    /// Runs through the level-indexed engine with per-level GLS weight
+    /// tables — bit-identical to
+    /// [`crate::weighted::weighted_hierarchical_inference`] over the
+    /// per-node expansion of the level variances, which the test suite pins.
     pub fn infer(&self) -> ConsistentTree {
-        let h = weighted_hierarchical_inference(&self.shape, &self.noisy, &self.variances);
-        ConsistentTree::new(self.shape.clone(), h, self.domain_size)
+        let engine = LevelTree::with_level_variances(&self.shape, &self.level_variances);
+        ConsistentTree::new(
+            self.shape.clone(),
+            engine.infer(&self.noisy),
+            self.domain_size,
+        )
     }
 }
 
@@ -234,6 +258,28 @@ mod tests {
         }
         let ratio = e_budgeted / e_classic;
         assert!((0.7..1.4).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn engine_inference_matches_weighted_reference() {
+        // The release's GLS engine (per-level tables) must agree bit for bit
+        // with the per-node weighted oracle it replaced.
+        let h = histogram(32);
+        for (split, seed) in [
+            (BudgetSplit::Uniform, 12u64),
+            (BudgetSplit::Geometric { ratio: 1.7 }, 13),
+            (BudgetSplit::Custom(vec![3.0, 1.0, 2.0, 1.0, 1.0, 4.0]), 14),
+        ] {
+            let pipeline = BudgetedHierarchical::binary(eps(0.4), split);
+            let mut rng = rng_from_seed(seed);
+            let rel = pipeline.release(&h, &mut rng);
+            let reference = crate::weighted::weighted_hierarchical_inference(
+                rel.shape(),
+                rel.noisy_values(),
+                &rel.variances(),
+            );
+            assert_eq!(rel.infer().node_values(), &reference[..]);
+        }
     }
 
     #[test]

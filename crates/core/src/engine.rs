@@ -1,0 +1,722 @@
+//! The batched, level-indexed inference engine — Theorem 3 on a flat layout.
+//!
+//! [`crate::hier::hierarchical_inference`] is the executable specification of
+//! Theorem 3: per node it recomputes `k^l` weights with `powi`, resolves
+//! `parent()`/`children()` index arithmetic, and allocates fresh vectors per
+//! call. That is fine for a reference oracle and fatal for the Fig. 5–7
+//! experiment loops, which run it thousands of times per curve.
+//!
+//! This module exploits two structural facts about the complete k-ary BFS
+//! layout:
+//!
+//! 1. **Levels are contiguous slices** (`TreeShape::level_offsets`), and the
+//!    children of the `i`-th node at depth `d` start at
+//!    `level_offsets[d + 1] + i·k` — sibling groups never interleave, so both
+//!    Theorem-3 passes are sequential sweeps over flat slices.
+//! 2. **The weights depend only on the level**, so the per-node `powi`
+//!    recurrences collapse into tables of `height` precomputed coefficients
+//!    ([`LevelTree`]), shared by every trial over the same shape.
+//!
+//! [`BatchInference`] adds scratch-buffer reuse on top: after the first call
+//! every inference is allocation-free, and batches of trials amortize the
+//! table setup to nothing. [`LevelTree::infer_parallel`] splits the root's k
+//! subtrees across `std::thread::scope` workers for single huge trees;
+//! [`BatchInference::infer_batch_parallel`] splits *trials* across workers
+//! for the experiment protocol. All paths produce bit-identical output to
+//! their serial counterparts, and the uniform path is bit-identical to the
+//! reference `hierarchical_inference` (same floating-point expressions in the
+//! same order) — the cross-engine equivalence tests pin this.
+
+use hc_mech::TreeShape;
+
+/// Per-level coefficient tables for the two Theorem-3 passes.
+///
+/// `Uniform` is the paper's equal-variance case (every node carries the same
+/// `Lap(ℓ/ε)` noise); `Weighted` is the GLS generalization for per-*level*
+/// noise variances (the [`crate::budgeted`] pipeline).
+#[derive(Debug, Clone)]
+enum Weights {
+    /// Theorem 3 exactly: `z = own·h̃ + child·Σz`, `h̄ = z + (h̄_u − Σz)/k`.
+    Uniform {
+        /// `(k^l − k^(l−1))/(k^l − 1)` per depth (`l` = height − depth).
+        up_own: Vec<f64>,
+        /// `(k^(l−1) − 1)/(k^l − 1)` per depth.
+        up_child: Vec<f64>,
+    },
+    /// Inverse-variance fusion: `z = (w_own·h̃ + w_succ·Σz)/(w_own + w_succ)`,
+    /// `h̄ = z + ratio·(h̄_u − Σz)` with `ratio = var/succ_var` per depth.
+    Weighted {
+        /// `1/σ²_d` per depth.
+        w_own: Vec<f64>,
+        /// `1/Σ σ²_fused(children)` per depth (0.0 at the leaf depth).
+        w_succ: Vec<f64>,
+        /// `σ²_fused(d) / succ_var(d−1)` per depth (unused at depth 0).
+        down_ratio: Vec<f64>,
+    },
+}
+
+/// A [`TreeShape`] compiled for fast repeated inference: contiguous per-level
+/// slices plus precomputed per-level weight tables.
+///
+/// Construction is O(height); each [`infer`](Self::infer) is two sequential
+/// sweeps over the node vector with no `powi`, no parent/child index
+/// arithmetic beyond a running offset, and no per-node branching.
+#[derive(Debug, Clone)]
+pub struct LevelTree {
+    shape: TreeShape,
+    weights: Weights,
+}
+
+impl LevelTree {
+    /// Compiles the uniform (paper) Theorem-3 weights for `shape`.
+    ///
+    /// Output is bit-identical to [`crate::hier::hierarchical_inference`].
+    pub fn new(shape: &TreeShape) -> Self {
+        let height = shape.height();
+        let k = shape.branching() as f64;
+        let mut up_own = vec![1.0f64; height];
+        let mut up_child = vec![0.0f64; height];
+        for (d, (own, child)) in up_own.iter_mut().zip(&mut up_child).enumerate() {
+            let l = (height - d) as i32;
+            if l > 1 {
+                // Same expressions as the reference so the bits agree.
+                let k_l = k.powi(l);
+                let k_lm1 = k.powi(l - 1);
+                *own = (k_l - k_lm1) / (k_l - 1.0);
+                *child = (k_lm1 - 1.0) / (k_l - 1.0);
+            }
+        }
+        Self {
+            shape: shape.clone(),
+            weights: Weights::Uniform { up_own, up_child },
+        }
+    }
+
+    /// Compiles GLS weights for per-**level** noise variances (depth 0 =
+    /// root), the [`crate::budgeted`] noise model.
+    ///
+    /// Matches [`crate::weighted::weighted_hierarchical_inference`] with the
+    /// variance of level `d` replicated across that level's nodes.
+    pub fn with_level_variances(shape: &TreeShape, level_variances: &[f64]) -> Self {
+        let height = shape.height();
+        assert_eq!(level_variances.len(), height, "one variance per level");
+        assert!(
+            level_variances.iter().all(|&v| v > 0.0 && v.is_finite()),
+            "variances must be positive and finite"
+        );
+        let k = shape.branching();
+        let mut w_own = vec![0.0f64; height];
+        let mut w_succ = vec![0.0f64; height];
+        let mut down_ratio = vec![0.0f64; height];
+        // Fused subtree-total variance per depth, bottom-up (matches the
+        // reference's upward pass, including the k-term summation order).
+        let mut fused = vec![0.0f64; height];
+        fused[height - 1] = level_variances[height - 1];
+        w_own[height - 1] = 1.0 / level_variances[height - 1];
+        let mut succ_var = vec![0.0f64; height]; // of the child group under depth d
+        for d in (0..height.saturating_sub(1)).rev() {
+            let mut sv = 0.0f64;
+            for _ in 0..k {
+                sv += fused[d + 1];
+            }
+            succ_var[d] = sv;
+            w_own[d] = 1.0 / level_variances[d];
+            w_succ[d] = 1.0 / sv;
+            fused[d] = 1.0 / (w_own[d] + w_succ[d]);
+        }
+        for d in 1..height {
+            down_ratio[d] = fused[d] / succ_var[d - 1];
+        }
+        Self {
+            shape: shape.clone(),
+            weights: Weights::Weighted {
+                w_own,
+                w_succ,
+                down_ratio,
+            },
+        }
+    }
+
+    /// The compiled tree geometry.
+    #[inline]
+    pub fn shape(&self) -> &TreeShape {
+        &self.shape
+    }
+
+    /// Total node count (length of the noisy/output vectors).
+    #[inline]
+    pub fn nodes(&self) -> usize {
+        self.shape.nodes()
+    }
+
+    /// Whether the tables are the uniform Theorem-3 weights (as opposed to
+    /// per-level GLS weights).
+    pub fn is_uniform(&self) -> bool {
+        matches!(self.weights, Weights::Uniform { .. })
+    }
+
+    /// Theorem 3 in two flat sweeps, allocating the result.
+    pub fn infer(&self, noisy: &[f64]) -> Vec<f64> {
+        let mut z = Vec::new();
+        let mut out = Vec::new();
+        self.infer_into(noisy, &mut z, &mut out);
+        out
+    }
+
+    /// Theorem 3 in two flat sweeps into caller-owned buffers.
+    ///
+    /// `z` and `out` are resized to `nodes()`; once their capacity has grown
+    /// past that, repeated calls allocate nothing.
+    pub fn infer_into(&self, noisy: &[f64], z: &mut Vec<f64>, out: &mut Vec<f64>) {
+        let n = self.shape.nodes();
+        assert_eq!(noisy.len(), n, "noisy vector must cover the tree");
+        z.clear();
+        z.resize(n, 0.0);
+        out.clear();
+        out.resize(n, 0.0);
+        self.upward(noisy, z);
+        self.downward(z, out);
+    }
+
+    /// Bottom-up pass: fills `z` (pre-sized to `nodes()`).
+    fn upward(&self, noisy: &[f64], z: &mut [f64]) {
+        let height = self.shape.height();
+        let offsets = self.shape.level_offsets();
+        let k = self.shape.branching();
+        let first_leaf = offsets[height - 1];
+        z[first_leaf..].copy_from_slice(&noisy[first_leaf..]);
+        for d in (0..height.saturating_sub(1)).rev() {
+            let (lo, hi) = (offsets[d], offsets[d + 1]);
+            // Children of the i-th node at depth d start at hi + i·k.
+            let (parents, rest) = z[lo..].split_at_mut(hi - lo);
+            let children = &rest[..(hi - lo) * k];
+            match &self.weights {
+                Weights::Uniform { up_own, up_child } => {
+                    let (own, child) = (up_own[d], up_child[d]);
+                    for (i, p) in parents.iter_mut().enumerate() {
+                        let mut succ = 0.0f64;
+                        for c in &children[i * k..(i + 1) * k] {
+                            succ += c;
+                        }
+                        *p = own * noisy[lo + i] + child * succ;
+                    }
+                }
+                Weights::Weighted { w_own, w_succ, .. } => {
+                    let (wo, ws) = (w_own[d], w_succ[d]);
+                    for (i, p) in parents.iter_mut().enumerate() {
+                        let mut succ = 0.0f64;
+                        for c in &children[i * k..(i + 1) * k] {
+                            succ += c;
+                        }
+                        *p = (wo * noisy[lo + i] + ws * succ) / (wo + ws);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Top-down pass: fills `out` (pre-sized to `nodes()`) from `z`.
+    fn downward(&self, z: &[f64], out: &mut [f64]) {
+        let height = self.shape.height();
+        let offsets = self.shape.level_offsets();
+        let k = self.shape.branching();
+        let kf = k as f64;
+        out[0] = z[0];
+        for d in 0..height.saturating_sub(1) {
+            let (lo, hi) = (offsets[d], offsets[d + 1]);
+            let (parents, rest) = out[lo..].split_at_mut(hi - lo);
+            let children = &mut rest[..(hi - lo) * k];
+            let down_ratio = match &self.weights {
+                Weights::Uniform { .. } => None,
+                Weights::Weighted { down_ratio, .. } => Some(down_ratio[d + 1]),
+            };
+            for (i, p) in parents.iter().enumerate() {
+                let group = &z[hi + i * k..hi + (i + 1) * k];
+                let mut succ = 0.0f64;
+                for c in group {
+                    succ += c;
+                }
+                let surplus = p - succ;
+                let h = &mut children[i * k..(i + 1) * k];
+                match down_ratio {
+                    None => {
+                        for (hv, zv) in h.iter_mut().zip(group) {
+                            *hv = zv + surplus / kf;
+                        }
+                    }
+                    Some(ratio) => {
+                        for (hv, zv) in h.iter_mut().zip(group) {
+                            *hv = zv + ratio * surplus;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Theorem 3 with the root's k subtrees split across scoped-thread
+    /// workers — for single trees too large to wait on one core.
+    ///
+    /// Each worker owns one subtree's per-level slices, so the arithmetic
+    /// (and therefore the output, bit for bit) is identical to
+    /// [`infer`](Self::infer); only the sweep order across *independent*
+    /// subtrees changes. `threads` is a cap; trees of height < 3 or a cap of
+    /// ≤ 1 fall back to the serial path.
+    pub fn infer_parallel(&self, noisy: &[f64], threads: usize) -> Vec<f64> {
+        let mut z = Vec::new();
+        let mut out = Vec::new();
+        self.infer_parallel_into(noisy, &mut z, &mut out, threads);
+        out
+    }
+
+    /// [`infer_parallel`](Self::infer_parallel) into caller-owned buffers.
+    pub fn infer_parallel_into(
+        &self,
+        noisy: &[f64],
+        z: &mut Vec<f64>,
+        out: &mut Vec<f64>,
+        threads: usize,
+    ) {
+        let height = self.shape.height();
+        if threads <= 1 || height < 3 {
+            self.infer_into(noisy, z, out);
+            return;
+        }
+        let n = self.shape.nodes();
+        assert_eq!(noisy.len(), n, "noisy vector must cover the tree");
+        z.clear();
+        z.resize(n, 0.0);
+        out.clear();
+        out.resize(n, 0.0);
+
+        let k = self.shape.branching();
+        let offsets = self.shape.level_offsets();
+        let kf = k as f64;
+        let workers = threads.min(k);
+
+        // Phase 1: bottom-up within each root subtree (disjoint z slices).
+        {
+            let batches = batch_subtrees(split_subtrees(&mut z[1..], offsets, k), workers);
+            std::thread::scope(|scope| {
+                for batch in batches {
+                    scope.spawn(move || {
+                        for (s, mut levels) in batch {
+                            self.upward_subtree(s, &mut levels, noisy);
+                        }
+                    });
+                }
+            });
+        }
+
+        // Root: fuse the k subtree totals, then seed each subtree's h̄.
+        let mut succ = 0.0f64;
+        for c in &z[1..1 + k] {
+            succ += c;
+        }
+        match &self.weights {
+            Weights::Uniform { up_own, up_child } => {
+                z[0] = up_own[0] * noisy[0] + up_child[0] * succ;
+                out[0] = z[0];
+                let surplus = out[0] - succ;
+                for v in 1..1 + k {
+                    out[v] = z[v] + surplus / kf;
+                }
+            }
+            Weights::Weighted {
+                w_own,
+                w_succ,
+                down_ratio,
+            } => {
+                z[0] = (w_own[0] * noisy[0] + w_succ[0] * succ) / (w_own[0] + w_succ[0]);
+                out[0] = z[0];
+                let surplus = out[0] - succ;
+                for v in 1..1 + k {
+                    out[v] = z[v] + down_ratio[1] * surplus;
+                }
+            }
+        }
+
+        // Phase 2: top-down within each subtree (z is now read-only).
+        {
+            let z = &z[..];
+            let batches = batch_subtrees(split_subtrees(&mut out[1..], offsets, k), workers);
+            std::thread::scope(|scope| {
+                for batch in batches {
+                    scope.spawn(move || {
+                        for (s, mut levels) in batch {
+                            self.downward_subtree(s, &mut levels, z);
+                        }
+                    });
+                }
+            });
+        }
+    }
+
+    /// Bottom-up pass over root subtree `s`; `levels[j]` is its z slice at
+    /// depth `j + 1`.
+    fn upward_subtree(&self, s: usize, levels: &mut [&mut [f64]], noisy: &[f64]) {
+        let height = self.shape.height();
+        let offsets = self.shape.level_offsets();
+        let k = self.shape.branching();
+        let leaf_depth = height - 1;
+        let w_leaf = self.subtree_level_width(leaf_depth);
+        let leaf_lo = offsets[leaf_depth] + s * w_leaf;
+        levels[leaf_depth - 1].copy_from_slice(&noisy[leaf_lo..leaf_lo + w_leaf]);
+        for d in (1..leaf_depth).rev() {
+            let w = self.subtree_level_width(d);
+            let noisy_lo = offsets[d] + s * w;
+            let (lower, upper) = levels.split_at_mut(d);
+            let parents = &mut lower[d - 1];
+            let children = &upper[0];
+            match &self.weights {
+                Weights::Uniform { up_own, up_child } => {
+                    let (own, child) = (up_own[d], up_child[d]);
+                    for (i, p) in parents.iter_mut().enumerate() {
+                        let mut succ = 0.0f64;
+                        for c in &children[i * k..(i + 1) * k] {
+                            succ += c;
+                        }
+                        *p = own * noisy[noisy_lo + i] + child * succ;
+                    }
+                }
+                Weights::Weighted { w_own, w_succ, .. } => {
+                    let (wo, ws) = (w_own[d], w_succ[d]);
+                    for (i, p) in parents.iter_mut().enumerate() {
+                        let mut succ = 0.0f64;
+                        for c in &children[i * k..(i + 1) * k] {
+                            succ += c;
+                        }
+                        *p = (wo * noisy[noisy_lo + i] + ws * succ) / (wo + ws);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Top-down pass over root subtree `s`; `levels[j]` is its h̄ slice at
+    /// depth `j + 1` (the subtree root's h̄ must already be seeded).
+    fn downward_subtree(&self, s: usize, levels: &mut [&mut [f64]], z: &[f64]) {
+        let height = self.shape.height();
+        let offsets = self.shape.level_offsets();
+        let k = self.shape.branching();
+        let kf = k as f64;
+        for d in 1..height - 1 {
+            let w = self.subtree_level_width(d);
+            let child_lo = offsets[d + 1] + s * w * k;
+            let group_z = &z[child_lo..child_lo + w * k];
+            let (lower, upper) = levels.split_at_mut(d);
+            let parents = &lower[d - 1];
+            let children = &mut upper[0];
+            let down_ratio = match &self.weights {
+                Weights::Uniform { .. } => None,
+                Weights::Weighted { down_ratio, .. } => Some(down_ratio[d + 1]),
+            };
+            for (i, p) in parents.iter().enumerate() {
+                let group = &group_z[i * k..(i + 1) * k];
+                let mut succ = 0.0f64;
+                for c in group {
+                    succ += c;
+                }
+                let surplus = p - succ;
+                let h = &mut children[i * k..(i + 1) * k];
+                match down_ratio {
+                    None => {
+                        for (hv, zv) in h.iter_mut().zip(group) {
+                            *hv = zv + surplus / kf;
+                        }
+                    }
+                    Some(ratio) => {
+                        for (hv, zv) in h.iter_mut().zip(group) {
+                            *hv = zv + ratio * surplus;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Nodes per root subtree at `depth` (≥ 1): `level_width(depth) / k`.
+    #[inline]
+    fn subtree_level_width(&self, depth: usize) -> usize {
+        self.shape.level_width(depth) / self.shape.branching()
+    }
+}
+
+/// Groups the k subtree slice-sets into at most `workers` batches, each
+/// handled by one scoped thread.
+fn batch_subtrees<T>(subtrees: Vec<T>, workers: usize) -> Vec<Vec<(usize, T)>> {
+    let per = subtrees.len().div_ceil(workers.max(1));
+    let mut batches: Vec<Vec<(usize, T)>> = Vec::new();
+    for (s, levels) in subtrees.into_iter().enumerate() {
+        if s % per == 0 {
+            batches.push(Vec::with_capacity(per));
+        }
+        batches.last_mut().expect("pushed above").push((s, levels));
+    }
+    batches
+}
+
+/// Splits `buf` (the node vector minus the root) into `k` root subtrees,
+/// each as a vector of per-level slices: `result[s][j]` covers depth `j + 1`
+/// of subtree `s`. The disjointness lets scoped workers mutate their subtree
+/// without locks.
+fn split_subtrees<'a>(
+    mut buf: &'a mut [f64],
+    offsets: &[usize],
+    k: usize,
+) -> Vec<Vec<&'a mut [f64]>> {
+    let height = offsets.len() - 1;
+    let mut per: Vec<Vec<&'a mut [f64]>> = (0..k).map(|_| Vec::with_capacity(height - 1)).collect();
+    for d in 1..height {
+        let width = offsets[d + 1] - offsets[d];
+        let (mut level, rest) = buf.split_at_mut(width);
+        buf = rest;
+        let chunk = width / k;
+        for sub in per.iter_mut() {
+            let (c, remainder) = level.split_at_mut(chunk);
+            sub.push(c);
+            level = remainder;
+        }
+    }
+    per
+}
+
+/// Reusable inference executor: one scratch buffer, many trials.
+///
+/// After the first call every `infer_*` method is allocation-free (buffers
+/// are recycled at their high-water mark), which is what the experiment
+/// loops need — thousands of trials over one shape.
+#[derive(Debug, Clone)]
+pub struct BatchInference {
+    tree: LevelTree,
+    z: Vec<f64>,
+}
+
+impl BatchInference {
+    /// Wraps a compiled tree.
+    pub fn new(tree: LevelTree) -> Self {
+        Self {
+            tree,
+            z: Vec::new(),
+        }
+    }
+
+    /// Compiles uniform Theorem-3 tables for `shape` and wraps them.
+    pub fn for_shape(shape: &TreeShape) -> Self {
+        Self::new(LevelTree::new(shape))
+    }
+
+    /// The compiled tables.
+    pub fn tree(&self) -> &LevelTree {
+        &self.tree
+    }
+
+    /// Recompiles (uniform weights) if `shape` differs from the current one.
+    ///
+    /// This is the hook for trial loops that sweep shapes: pay O(height)
+    /// only when the shape actually changes, keep the scratch either way.
+    pub fn ensure_shape(&mut self, shape: &TreeShape) {
+        if self.tree.shape() != shape || !self.tree.is_uniform() {
+            self.tree = LevelTree::new(shape);
+        }
+    }
+
+    /// One inference, reusing internal scratch; allocates only the result.
+    pub fn infer(&mut self, noisy: &[f64]) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.infer_into(noisy, &mut out);
+        out
+    }
+
+    /// One inference into a caller-owned output buffer (zero allocations
+    /// once `out` and the scratch have warmed up).
+    pub fn infer_into(&mut self, noisy: &[f64], out: &mut Vec<f64>) {
+        let mut z = std::mem::take(&mut self.z);
+        self.tree.infer_into(noisy, &mut z, out);
+        self.z = z;
+    }
+
+    /// Batched inference: `noisy_batch` is `trials` node vectors
+    /// concatenated; the result has the same layout. Bit-identical to
+    /// running the trials one by one.
+    pub fn infer_batch(&mut self, noisy_batch: &[f64]) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.infer_batch_into(noisy_batch, &mut out);
+        out
+    }
+
+    /// [`infer_batch`](Self::infer_batch) into a caller-owned buffer.
+    pub fn infer_batch_into(&mut self, noisy_batch: &[f64], out: &mut Vec<f64>) {
+        let n = self.tree.nodes();
+        assert!(
+            n > 0 && noisy_batch.len() % n == 0,
+            "batch length {} is not a multiple of the node count {n}",
+            noisy_batch.len()
+        );
+        out.clear();
+        out.resize(noisy_batch.len(), 0.0);
+        let mut z = std::mem::take(&mut self.z);
+        z.clear();
+        z.resize(n, 0.0);
+        for (noisy, h) in noisy_batch.chunks_exact(n).zip(out.chunks_exact_mut(n)) {
+            self.tree.upward(noisy, &mut z);
+            self.tree.downward(&z, h);
+        }
+        self.z = z;
+    }
+
+    /// Batched inference with trials split across scoped-thread workers —
+    /// the shape the Fig. 5–7 protocol wants (many independent trials, one
+    /// shape). Bit-identical to [`infer_batch`](Self::infer_batch); each
+    /// worker carries its own scratch, allocated once per call and amortized
+    /// over its share of trials.
+    pub fn infer_batch_parallel(&mut self, noisy_batch: &[f64], threads: usize) -> Vec<f64> {
+        let n = self.tree.nodes();
+        assert!(
+            n > 0 && noisy_batch.len() % n == 0,
+            "batch length {} is not a multiple of the node count {n}",
+            noisy_batch.len()
+        );
+        let trials = noisy_batch.len() / n;
+        let workers = threads.max(1).min(trials.max(1));
+        if workers <= 1 {
+            let mut out = Vec::new();
+            self.infer_batch_into(noisy_batch, &mut out);
+            return out;
+        }
+        let mut out = vec![0.0f64; noisy_batch.len()];
+        let per = trials.div_ceil(workers);
+        std::thread::scope(|scope| {
+            for (in_chunk, out_chunk) in noisy_batch.chunks(per * n).zip(out.chunks_mut(per * n)) {
+                let tree = &self.tree;
+                scope.spawn(move || {
+                    let mut z = vec![0.0f64; n];
+                    for (noisy, h) in in_chunk.chunks_exact(n).zip(out_chunk.chunks_exact_mut(n)) {
+                        tree.upward(noisy, &mut z);
+                        tree.downward(&z, h);
+                    }
+                });
+            }
+        });
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hier::hierarchical_inference;
+    use hc_noise::rng_from_seed;
+    use hc_testutil::assert_close;
+    use rand::Rng;
+
+    fn random_noisy(shape: &TreeShape, seed: u64) -> Vec<f64> {
+        let mut rng = rng_from_seed(seed);
+        (0..shape.nodes())
+            .map(|_| rng.random_range(-25.0..60.0))
+            .collect()
+    }
+
+    #[test]
+    fn engine_is_bit_identical_to_reference_on_uniform_weights() {
+        for (k, height, seed) in [
+            (2usize, 1usize, 11u64),
+            (2, 3, 12),
+            (2, 7, 13),
+            (3, 4, 14),
+            (5, 3, 15),
+        ] {
+            let shape = TreeShape::new(k, height);
+            let noisy = random_noisy(&shape, seed);
+            let reference = hierarchical_inference(&shape, &noisy);
+            let engine = LevelTree::new(&shape).infer(&noisy);
+            assert_eq!(engine, reference, "k={k} ℓ={height}");
+        }
+    }
+
+    #[test]
+    fn engine_matches_fig2_worked_example() {
+        let shape = TreeShape::new(2, 3);
+        let noisy = [13.0, 3.0, 11.0, 4.0, 1.0, 12.0, 1.0];
+        let h = LevelTree::new(&shape).infer(&noisy);
+        assert_close(&h, &[14.0, 3.0, 11.0, 3.0, 0.0, 11.0, 0.0], 1e-12);
+    }
+
+    #[test]
+    fn parallel_is_bit_identical_to_serial() {
+        for (k, height, seed) in [(2usize, 6usize, 21u64), (3, 5, 22), (4, 4, 23)] {
+            let shape = TreeShape::new(k, height);
+            let noisy = random_noisy(&shape, seed);
+            let tree = LevelTree::new(&shape);
+            let serial = tree.infer(&noisy);
+            for threads in [2, 4, 8] {
+                assert_eq!(tree.infer_parallel(&noisy, threads), serial);
+            }
+        }
+    }
+
+    #[test]
+    fn batch_is_bit_identical_to_singles() {
+        let shape = TreeShape::new(2, 5);
+        let tree = LevelTree::new(&shape);
+        let n = shape.nodes();
+        let trials = 7;
+        let mut batch = Vec::with_capacity(trials * n);
+        let mut singles = Vec::with_capacity(trials * n);
+        for t in 0..trials {
+            let noisy = random_noisy(&shape, 31 + t as u64);
+            singles.extend(tree.infer(&noisy));
+            batch.extend(noisy);
+        }
+        let mut engine = BatchInference::new(tree);
+        assert_eq!(engine.infer_batch(&batch), singles);
+        assert_eq!(engine.infer_batch_parallel(&batch, 3), singles);
+    }
+
+    #[test]
+    fn scratch_reuse_across_shapes_stays_correct() {
+        let mut engine = BatchInference::for_shape(&TreeShape::new(2, 4));
+        for (k, height, seed) in [(2usize, 4usize, 41u64), (3, 3, 42), (2, 6, 43)] {
+            let shape = TreeShape::new(k, height);
+            engine.ensure_shape(&shape);
+            let noisy = random_noisy(&shape, seed);
+            assert_eq!(engine.infer(&noisy), hierarchical_inference(&shape, &noisy));
+        }
+    }
+
+    #[test]
+    fn weighted_tables_match_weighted_reference() {
+        use crate::weighted::weighted_hierarchical_inference;
+        for (k, height, seed) in [(2usize, 4usize, 51u64), (3, 3, 52), (2, 6, 53)] {
+            let shape = TreeShape::new(k, height);
+            let mut rng = rng_from_seed(seed);
+            let noisy = random_noisy(&shape, seed ^ 0xF0);
+            let level_vars: Vec<f64> = (0..height).map(|_| rng.random_range(0.2..9.0)).collect();
+            let mut per_node = vec![0.0f64; shape.nodes()];
+            for (d, &var) in level_vars.iter().enumerate() {
+                for v in shape.level(d) {
+                    per_node[v] = var;
+                }
+            }
+            let reference = weighted_hierarchical_inference(&shape, &noisy, &per_node);
+            let tree = LevelTree::with_level_variances(&shape, &level_vars);
+            assert_eq!(tree.infer(&noisy), reference, "k={k} ℓ={height}");
+            assert_eq!(tree.infer_parallel(&noisy, 4), reference);
+        }
+    }
+
+    #[test]
+    fn single_node_tree_passes_through() {
+        let shape = TreeShape::new(2, 1);
+        let tree = LevelTree::new(&shape);
+        assert_eq!(tree.infer(&[7.25]), vec![7.25]);
+        assert_eq!(tree.infer_parallel(&[7.25], 8), vec![7.25]);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of the node count")]
+    fn batch_length_is_checked() {
+        let mut engine = BatchInference::for_shape(&TreeShape::new(2, 3));
+        let _ = engine.infer_batch(&[0.0; 10]);
+    }
+}

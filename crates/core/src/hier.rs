@@ -180,14 +180,8 @@ impl ConsistentTree {
 mod tests {
     use super::*;
     use hc_noise::rng_from_seed;
+    use hc_testutil::assert_close;
     use rand::Rng;
-
-    fn assert_close(a: &[f64], b: &[f64], tol: f64) {
-        assert_eq!(a.len(), b.len());
-        for (i, (x, y)) in a.iter().zip(b).enumerate() {
-            assert!((x - y).abs() < tol, "position {i}: {x} vs {y}");
-        }
-    }
 
     #[test]
     fn paper_fig2_worked_example() {
@@ -316,6 +310,74 @@ mod tests {
         let h = hierarchical_inference(&shape, &noisy);
         let nn = enforce_nonnegativity(&shape, &h);
         assert!(nn.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn nonnegativity_breaks_consistency_only_at_zeroed_boundaries() {
+        // The documented contract: subtree zeroing violates parent = Σ
+        // children *only* at nodes that keep their value but lose a zeroed
+        // child subtree; everywhere else consistency survives, and range
+        // queries over the result are answered from the leaves.
+        let shape = TreeShape::new(2, 5);
+        let mut rng = rng_from_seed(91);
+        let noisy: Vec<f64> = (0..shape.nodes())
+            .map(|_| rng.random_range(-4.0..8.0))
+            .collect();
+        let h = hierarchical_inference(&shape, &noisy);
+        let nn = enforce_nonnegativity(&shape, &h);
+
+        // Recompute the zeroed set independently of the implementation.
+        let mut zeroed = vec![false; shape.nodes()];
+        for v in 0..shape.nodes() {
+            let parent_zeroed = shape.parent(v).is_some_and(|u| zeroed[u]);
+            zeroed[v] = parent_zeroed || h[v] <= 0.0;
+        }
+        assert!(
+            zeroed.iter().any(|&z| z),
+            "seed must exercise at least one zeroed subtree"
+        );
+
+        for v in 0..shape.nodes() {
+            if shape.is_leaf(v) {
+                continue;
+            }
+            let child_sum: f64 = shape.children(v).map(|c| nn[c]).sum();
+            let violation = nn[v] - child_sum;
+            if zeroed[v] {
+                // Inside a zeroed subtree: 0 = 0 + 0, consistency holds.
+                assert!(violation.abs() < 1e-12, "node {v} inside zeroed subtree");
+            } else {
+                // Outside: the exact discrepancy is the mass of the zeroed
+                // children (h[c] ≤ 0 each), and it is zero iff no child
+                // subtree was zeroed — the boundary is the only break point.
+                let zeroed_mass: f64 = shape.children(v).filter(|&c| zeroed[c]).map(|c| h[c]).sum();
+                assert!(
+                    (violation - zeroed_mass).abs() < 1e-9,
+                    "node {v}: violation {violation} vs zeroed child mass {zeroed_mass}"
+                );
+                if shape.children(v).all(|c| !zeroed[c]) {
+                    assert!(violation.abs() < 1e-9, "non-boundary node {v} broke");
+                }
+            }
+        }
+
+        // Range queries over the zeroed result go through the leaves: the
+        // prefix-sum path reproduces direct leaf summation everywhere, even
+        // though a boundary node's own value no longer matches its span.
+        let tree = ConsistentTree::new(shape.clone(), nn.clone(), shape.leaves());
+        for (lo, hi) in [(0usize, 15usize), (0, 7), (3, 12), (5, 5)] {
+            let direct: f64 = tree.leaves()[lo..=hi].iter().sum();
+            assert!((tree.range_query(Interval::new(lo, hi)) - direct).abs() < 1e-9);
+        }
+        let boundary = (0..shape.nodes())
+            .find(|&v| !zeroed[v] && shape.children(v).any(|c| zeroed[c]))
+            .expect("a boundary node exists");
+        let span = shape.leaf_span(boundary);
+        let from_leaves = tree.range_query(Interval::new(span.lo(), span.hi()));
+        assert!(
+            (from_leaves - nn[boundary]).abs() > 1e-9,
+            "boundary node value should disagree with its leaf sum"
+        );
     }
 
     #[test]

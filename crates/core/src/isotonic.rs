@@ -150,14 +150,8 @@ pub fn minmax_reference_dual(values: &[f64]) -> Vec<f64> {
 mod tests {
     use super::*;
     use hc_noise::rng_from_seed;
+    use hc_testutil::assert_close;
     use rand::Rng;
-
-    fn assert_close(a: &[f64], b: &[f64], tol: f64) {
-        assert_eq!(a.len(), b.len());
-        for (i, (x, y)) in a.iter().zip(b).enumerate() {
-            assert!((x - y).abs() < tol, "position {i}: {x} vs {y}");
-        }
-    }
 
     #[test]
     fn already_sorted_is_fixed_point() {

@@ -13,14 +13,20 @@
 //!    *closest consistent* answer vector — the minimum-L2 projection onto
 //!    the constraint set. **That third step is this crate.**
 //!
-//! The two inference engines:
+//! The inference engines:
 //!
 //! * [`isotonic::isotonic_regression`] — Theorem 1's projection onto ordered
 //!   sequences, in linear time (PAVA), with the paper's min-max formula as an
 //!   executable reference specification.
 //! * [`hier::hierarchical_inference`] — Theorem 3's two-pass closed form for
 //!   the tree-consistency projection, plus the Sec. 4.2 non-negativity
-//!   heuristic.
+//!   heuristic. This is the *reference oracle*: per-node weights, allocating,
+//!   deliberately close to the paper's notation.
+//! * [`engine::LevelTree`] / [`engine::BatchInference`] — the production
+//!   engine: the same two passes over a flat level-indexed layout with
+//!   precomputed per-level weight tables, scratch-buffer reuse, batched
+//!   trials, and scoped-thread parallel passes. Every estimator's hot path
+//!   goes through it; the test suite pins it to the oracle bit for bit.
 //!
 //! End-to-end estimators wrap the pipeline for the paper's two tasks:
 //!
@@ -37,6 +43,7 @@
 #![warn(missing_docs)]
 
 pub mod budgeted;
+pub mod engine;
 pub mod error;
 pub mod hier;
 pub mod isotonic;
@@ -46,6 +53,7 @@ pub mod universal;
 pub mod weighted;
 
 pub use budgeted::{BudgetSplit, BudgetedHierarchical, BudgetedTreeRelease};
+pub use engine::{BatchInference, LevelTree};
 pub use error::{mean_absolute_error, per_position_squared_error, sum_squared_error};
 pub use hier::{enforce_nonnegativity, hierarchical_inference, ConsistentTree};
 pub use isotonic::{isotonic_regression, isotonic_regression_weighted, minmax_reference};

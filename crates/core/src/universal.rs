@@ -20,7 +20,8 @@ use hc_data::{Histogram, Interval};
 use hc_mech::{Epsilon, HierarchicalQuery, LaplaceMechanism, TreeShape, UnitQuery};
 use rand::Rng;
 
-use crate::hier::{enforce_nonnegativity, hierarchical_inference, ConsistentTree};
+use crate::engine::{BatchInference, LevelTree};
+use crate::hier::{enforce_nonnegativity, ConsistentTree};
 
 /// Post-processing policy applied to released counts before answering
 /// queries (Sec. 5.2's protocol).
@@ -237,8 +238,22 @@ impl TreeRelease {
     }
 
     /// `H̄`: the exact Theorem 3 minimum-L2 consistent tree (no rounding).
+    ///
+    /// Runs through the level-indexed [`LevelTree`] engine (bit-identical to
+    /// the [`crate::hier::hierarchical_inference`] reference oracle). Trial
+    /// loops should prefer [`Self::infer_with`] to also reuse scratch
+    /// buffers across releases.
     pub fn infer(&self) -> ConsistentTree {
-        let h = hierarchical_inference(&self.shape, &self.noisy);
+        let h = LevelTree::new(&self.shape).infer(&self.noisy);
+        ConsistentTree::new(self.shape.clone(), h, self.domain_size)
+    }
+
+    /// [`Self::infer`] through a caller-owned [`BatchInference`]: the engine
+    /// is recompiled only when the shape changes and its scratch buffer is
+    /// reused, so repeated trials allocate nothing beyond the result.
+    pub fn infer_with(&self, engine: &mut BatchInference) -> ConsistentTree {
+        engine.ensure_shape(&self.shape);
+        let h = engine.infer(&self.noisy);
         ConsistentTree::new(self.shape.clone(), h, self.domain_size)
     }
 
@@ -252,7 +267,15 @@ impl TreeRelease {
     /// most `2ℓ` node values, so the clamping at zero cannot accumulate bias
     /// across a wide range the way per-leaf clamping would.
     pub fn infer_rounded(&self) -> RoundedTree {
-        let h = hierarchical_inference(&self.shape, &self.noisy);
+        let mut engine = BatchInference::for_shape(&self.shape);
+        self.infer_rounded_with(&mut engine)
+    }
+
+    /// [`Self::infer_rounded`] through a caller-owned [`BatchInference`]
+    /// (see [`Self::infer_with`]).
+    pub fn infer_rounded_with(&self, engine: &mut BatchInference) -> RoundedTree {
+        engine.ensure_shape(&self.shape);
+        let h = engine.infer(&self.noisy);
         let mut values = enforce_nonnegativity(&self.shape, &h);
         for v in &mut values {
             *v = Rounding::NonNegativeInteger.apply(*v);

@@ -112,14 +112,8 @@ mod tests {
     use super::*;
     use crate::hier::hierarchical_inference;
     use hc_noise::rng_from_seed;
+    use hc_testutil::assert_close;
     use rand::Rng;
-
-    fn assert_close(a: &[f64], b: &[f64], tol: f64) {
-        assert_eq!(a.len(), b.len());
-        for (i, (x, y)) in a.iter().zip(b).enumerate() {
-            assert!((x - y).abs() < tol, "position {i}: {x} vs {y}");
-        }
-    }
 
     #[test]
     fn uniform_variances_reduce_to_theorem3() {

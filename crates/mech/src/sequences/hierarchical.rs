@@ -90,6 +90,33 @@ impl TreeShape {
         self.level_offset[depth]..self.level_offset[depth + 1]
     }
 
+    /// The raw level-offset table: `level_offsets()[d]` is the BFS index of
+    /// the first node at depth `d`, and a final sentinel holds the total node
+    /// count (`len = height + 1`). This is the contiguous layout the
+    /// `hc-core` inference engine's per-level slices are built on.
+    #[inline]
+    pub fn level_offsets(&self) -> &[usize] {
+        &self.level_offset
+    }
+
+    /// Number of nodes at `depth` (`k^depth` for a complete tree).
+    #[inline]
+    pub fn level_width(&self, depth: usize) -> usize {
+        assert!(depth < self.height, "depth out of range");
+        self.level_offset[depth + 1] - self.level_offset[depth]
+    }
+
+    /// The BFS index of the first leaf (`level_offsets()[height − 1]`).
+    ///
+    /// Because children of BFS node `v` are `k·v + 1 … k·v + k`, the children
+    /// of the `i`-th node at depth `d` start at `level_offsets()[d + 1] + i·k`
+    /// — each level is a contiguous run and sibling groups never interleave,
+    /// which is what lets the engine walk levels as flat slices.
+    #[inline]
+    pub fn first_leaf(&self) -> usize {
+        self.level_offset[self.height - 1]
+    }
+
     /// The depth of node `v` (0 = root).
     pub fn depth(&self, v: usize) -> usize {
         assert!(v < self.nodes(), "node index out of range");
@@ -432,6 +459,28 @@ mod tests {
         assert!(shape.is_root(0));
         assert_eq!(shape.parent(0), None);
         assert_eq!(shape.children(0).len(), 0);
+    }
+
+    #[test]
+    fn level_offsets_agree_with_node_arithmetic() {
+        for (k, height) in [(2usize, 1usize), (2, 5), (3, 4), (5, 3)] {
+            let shape = TreeShape::new(k, height);
+            let offsets = shape.level_offsets();
+            assert_eq!(offsets.len(), height + 1);
+            assert_eq!(offsets[height], shape.nodes());
+            assert_eq!(shape.first_leaf(), shape.leaf_node(0));
+            for d in 0..height {
+                assert_eq!(offsets[d]..offsets[d + 1], shape.level(d));
+                assert_eq!(shape.level_width(d), shape.level(d).len());
+            }
+            // Children of the i-th node at depth d start at
+            // offsets[d + 1] + i·k — the contiguity the engine relies on.
+            for d in 0..height - 1 {
+                for (i, v) in shape.level(d).enumerate() {
+                    assert_eq!(shape.children(v).start, offsets[d + 1] + i * k);
+                }
+            }
+        }
     }
 
     #[test]

@@ -71,9 +71,9 @@ pub use hc_noise as noise;
 pub mod prelude {
     pub use hc_core::{
         enforce_nonnegativity, hierarchical_inference, isotonic_regression, mean_absolute_error,
-        sum_squared_error, weighted_hierarchical_inference, BudgetSplit, BudgetedHierarchical,
-        ConsistentTree, FlatUniversal, HierarchicalUniversal, RoundedTree, Rounding, SortedRelease,
-        TreeRelease, UnattributedHistogram,
+        sum_squared_error, weighted_hierarchical_inference, BatchInference, BudgetSplit,
+        BudgetedHierarchical, ConsistentTree, FlatUniversal, HierarchicalUniversal, LevelTree,
+        RoundedTree, Rounding, SortedRelease, TreeRelease, UnattributedHistogram,
     };
     pub use hc_data::{Domain, Graph, Histogram, Interval, Relation};
     pub use hc_mech::{

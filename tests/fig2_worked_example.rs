@@ -1,5 +1,6 @@
 //! The paper's Fig. 2 worked example, end to end through the public facade.
 
+use hc_testutil::assert_close;
 use hist_consistency::prelude::*;
 
 fn example() -> Histogram {
@@ -29,10 +30,11 @@ fn fixed_noisy_tree_infers_to_paper_answer() {
         vec![13.0, 3.0, 11.0, 4.0, 1.0, 12.0, 1.0],
     );
     let inferred = release.infer();
-    let expected = [14.0, 3.0, 11.0, 3.0, 0.0, 11.0, 0.0];
-    for (got, want) in inferred.node_values().iter().zip(&expected) {
-        assert!((got - want).abs() < 1e-12, "{got} vs {want}");
-    }
+    assert_close(
+        inferred.node_values(),
+        &[14.0, 3.0, 11.0, 3.0, 0.0, 11.0, 0.0],
+        1e-12,
+    );
 }
 
 #[test]
@@ -40,10 +42,7 @@ fn fixed_noisy_sorted_sequence_infers_to_paper_answer() {
     // S~(I) = ⟨1, 2, 0, 11⟩ → S̄(I) = ⟨1, 1, 1, 11⟩ (Fig. 2b, third row).
     let release = SortedRelease::from_noisy(Epsilon::new(1.0).unwrap(), vec![1.0, 2.0, 0.0, 11.0]);
     let inferred = release.inferred();
-    let expected = [1.0, 1.0, 1.0, 11.0];
-    for (got, want) in inferred.iter().zip(&expected) {
-        assert!((got - want).abs() < 1e-12, "{got} vs {want}");
-    }
+    assert_close(&inferred, &[1.0, 1.0, 1.0, 11.0], 1e-12);
 }
 
 #[test]

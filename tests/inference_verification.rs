@@ -1,6 +1,7 @@
 //! Cross-validation of the paper's closed forms against the generic solver
 //! stack in `hc-linalg` — the "don't trust the proofs" tests.
 
+use hc_testutil::assert_close;
 use hist_consistency::linalg::{conjugate_gradient, lstsq, CgOptions, CsrMatrix, Matrix};
 use hist_consistency::prelude::*;
 use rand::Rng;
@@ -40,13 +41,7 @@ fn theorem3_equals_dense_ols_across_shapes() {
         let a = aggregation_matrix(&shape);
         let leaves = lstsq(&a, &noisy).expect("aggregation matrix has full column rank");
         let generic = a.matvec(&leaves).expect("dimensions match");
-
-        for (i, (c, g)) in closed_form.iter().zip(&generic).enumerate() {
-            assert!(
-                (c - g).abs() < 1e-7,
-                "k={k} ℓ={height} node {i}: closed {c} vs OLS {g}"
-            );
-        }
+        assert_close(&closed_form, &generic, 1e-7);
     }
 }
 
@@ -74,17 +69,7 @@ fn theorem3_equals_sparse_cg_at_larger_scale() {
     )
     .expect("SPD normal equations converge");
     let generic = a.matvec(&solved.x).expect("dimensions match");
-
-    let first_leaf = shape.leaf_node(0);
-    for i in 0..shape.nodes() {
-        assert!(
-            (closed_form[i] - generic[i]).abs() < 1e-5,
-            "node {i} (leaf? {}): closed {} vs CG {}",
-            i >= first_leaf,
-            closed_form[i],
-            generic[i]
-        );
-    }
+    assert_close(&closed_form, &generic, 1e-5);
 }
 
 #[test]
@@ -99,9 +84,7 @@ fn theorem1_minmax_equals_pava_on_adversarial_patterns() {
     for p in patterns {
         let pava = isotonic_regression(&p);
         let minmax = hist_consistency::infer::minmax_reference(&p);
-        for (a, b) in pava.iter().zip(&minmax) {
-            assert!((a - b).abs() < 1e-9, "{p:?}: {a} vs {b}");
-        }
+        assert_close(&pava, &minmax, 1e-9);
     }
 }
 

@@ -140,18 +140,30 @@ pub struct Bencher {
     elapsed: Duration,
 }
 
+/// Whether the bench binary was invoked with `--quick` (real criterion's
+/// fast-run flag): shrink warm-up and the measurement window so a full
+/// bench suite doubles as a runtime smoke test in CI.
+fn quick_mode() -> bool {
+    static QUICK: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *QUICK.get_or_init(|| std::env::args().any(|a| a == "--quick"))
+}
+
 impl Bencher {
     /// Times `routine`, accumulating into this bencher's measurement.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let (warmup, window, cap) = if quick_mode() {
+            (1, Duration::from_millis(5), 20)
+        } else {
+            (3, Duration::from_millis(60), 10_000)
+        };
         // Warm-up: a handful of calls so lazy init and caches settle.
-        for _ in 0..3 {
+        for _ in 0..warmup {
             black_box(routine());
         }
         // Measure: run until the window fills or the iteration cap hits.
-        let window = Duration::from_millis(60);
         let start = Instant::now();
         let mut iters = 0u64;
-        while start.elapsed() < window && iters < 10_000 {
+        while start.elapsed() < window && iters < cap {
             black_box(routine());
             iters += 1;
         }
