@@ -7,9 +7,13 @@
 //! trial than `hierarchical_inference`. Pass `--quick` for a smoke run.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use hc_core::{hierarchical_inference, BatchInference, LevelTree};
+use hc_core::{
+    enforce_nonnegativity, hierarchical_inference, BatchInference, HierarchicalUniversal,
+    LevelTree, Rounding,
+};
+use hc_data::{Domain, Histogram};
 use hc_linalg::{conjugate_gradient, CgOptions, CsrMatrix, Matrix};
-use hc_mech::TreeShape;
+use hc_mech::{Epsilon, TreeShape};
 use hc_noise::{rng_from_seed, Laplace};
 use std::hint::black_box;
 
@@ -132,6 +136,97 @@ fn bench_engine_parallel(c: &mut Criterion) {
     group.finish();
 }
 
+/// A sparse-ish histogram over `n` bins for the end-to-end pipeline runs.
+fn pipeline_histogram(n: usize) -> Histogram {
+    let counts: Vec<u64> = (0..n)
+        .map(|i| if i % 7 == 0 { (i % 23) as u64 } else { 0 })
+        .collect();
+    Histogram::from_counts(Domain::new("x", n).expect("non-empty"), counts)
+}
+
+/// The PR-2-era tree evaluation: reverse-BFS per-node `parent()` walk (one
+/// integer division per node), zero-padded histogram copy and all —
+/// reconstructed here so the baseline trial measures what the old code
+/// actually paid, independent of this crate's current implementation.
+fn pr2_evaluate(shape: &TreeShape, histogram: &Histogram) -> Vec<f64> {
+    let padded;
+    let counts: &[u64] = if histogram.len() == shape.leaves() {
+        histogram.counts()
+    } else {
+        padded = histogram.zero_padded(shape.leaves());
+        padded.counts()
+    };
+    let mut values = vec![0.0f64; shape.nodes()];
+    let first_leaf = shape.leaf_node(0);
+    for (i, &c) in counts.iter().enumerate() {
+        values[first_leaf + i] = c as f64;
+    }
+    for v in (1..shape.nodes()).rev() {
+        let parent = shape.parent(v).expect("non-root has parent");
+        values[parent] += values[v];
+    }
+    values
+}
+
+/// End-to-end trial through the PR-2-era path, reconstructed component by
+/// component: per-node-walk evaluation, an owned noisy vector perturbed one
+/// sample at a time, the untiled level sweeps allocating their buffers, the
+/// reference per-node `parent()` zeroing walk, then a separate rounding
+/// pass. This is the baseline the batched pipeline is measured against.
+fn bench_pipeline_pr2_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hier_pipeline_pr2_path");
+    for &height in &[17usize, 21] {
+        let shape = TreeShape::new(2, height);
+        let n = shape.leaves();
+        let histogram = pipeline_histogram(n);
+        let noise = Laplace::centered(height as f64 / 0.1).expect("positive scale");
+        let mut rng = rng_from_seed(11);
+        let tree = LevelTree::new(&shape);
+        group.throughput(Throughput::Elements(shape.nodes() as u64));
+        group.bench_with_input(BenchmarkId::new("k2", n), &histogram, |b, h| {
+            b.iter(|| {
+                let mut noisy = pr2_evaluate(&shape, h);
+                for v in &mut noisy {
+                    *v += noise.sample(&mut rng);
+                }
+                let inferred = tree.infer_untiled(&noisy);
+                let mut values = enforce_nonnegativity(&shape, &inferred);
+                for v in &mut values {
+                    *v = Rounding::NonNegativeInteger.apply(*v);
+                }
+                black_box(values[0])
+            });
+        });
+    }
+    group.finish();
+}
+
+/// End-to-end trial through the allocation-free batched pipeline:
+/// `release_and_infer_rounded` over a prepared mechanism and warm engine
+/// scratch — evaluate, noise, both Theorem-3 passes, fused zeroing +
+/// rounding, zero allocations per trial.
+fn bench_pipeline_batched(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hier_pipeline_batched");
+    for &height in &[17usize, 21] {
+        let shape = TreeShape::new(2, height);
+        let n = shape.leaves();
+        let histogram = pipeline_histogram(n);
+        let pipeline = HierarchicalUniversal::binary(Epsilon::new(0.1).expect("valid ε"));
+        let prepared = pipeline.prepare(n);
+        let mut rng = rng_from_seed(11);
+        let mut engine = BatchInference::for_shape(&shape);
+        let mut out = Vec::new();
+        group.throughput(Throughput::Elements(shape.nodes() as u64));
+        group.bench_with_input(BenchmarkId::new("k2", n), &histogram, |b, h| {
+            b.iter(|| {
+                engine.release_and_infer_rounded(&prepared, h, &mut rng, &mut out);
+                black_box(out[0])
+            });
+        });
+    }
+    group.finish();
+}
+
 fn bench_sparse_cg(c: &mut Criterion) {
     let mut group = c.benchmark_group("hier_infer_sparse_cg");
     group.sample_size(10);
@@ -185,6 +280,8 @@ criterion_group!(
     bench_engine_single,
     bench_engine_batch,
     bench_engine_parallel,
+    bench_pipeline_pr2_path,
+    bench_pipeline_batched,
     bench_sparse_cg,
     bench_dense_ols
 );

@@ -1,7 +1,7 @@
 //! Ablation (Secs. 4.2 & 5.2): the non-negativity subtree-zeroing step.
 //! On sparse data it is the reason `H̄` can beat `L̃` even at unit ranges.
 
-use hc_core::{BatchInference, FlatUniversal, HierarchicalUniversal, Rounding};
+use hc_core::{BatchInference, FlatRelease, FlatUniversal, HierarchicalUniversal, Rounding};
 use hc_data::RangeWorkload;
 use hc_mech::Epsilon;
 use hc_mech::TreeShape;
@@ -39,15 +39,40 @@ pub fn compute(cfg: RunConfig) -> Vec<NonNegPoint> {
         .collect();
     let queries = if cfg.quick { 100 } else { 1000 };
 
+    // Per-worker reusable state: the raw inference runs once per trial and
+    // the ablated variant is derived from it in place (the zeroing +
+    // rounding sweep over a copy), so no trial allocates after warm-up.
+    struct TrialState {
+        engine: BatchInference,
+        flat: FlatRelease,
+        tree: hc_core::TreeRelease,
+        raw: Vec<f64>,
+        raw_prefix: Vec<f64>,
+        nonneg: Vec<f64>,
+        decomp: Vec<usize>,
+    }
+    let shape = TreeShape::for_domain(n, 2);
+    let eps_flat = eps;
     let per_trial = crate::runner::run_trials_with(
         cfg.trials,
         seeds.substream(1),
-        || BatchInference::for_shape(&TreeShape::for_domain(n, 2)),
-        |_t, mut rng, engine| {
-            let flat = flat_pipeline.release(&histogram, &mut rng);
-            let tree = tree_pipeline.release(&histogram, &mut rng);
-            let raw = tree.infer_with(engine);
-            let nonneg = tree.infer_rounded_with(engine);
+        || TrialState {
+            engine: BatchInference::for_shape(&shape),
+            flat: FlatRelease::from_noisy(eps_flat, vec![0.0; n]),
+            tree: tree_pipeline.empty_release(n),
+            raw: Vec::new(),
+            raw_prefix: Vec::new(),
+            nonneg: Vec::new(),
+            decomp: Vec::new(),
+        },
+        |_t, mut rng, st| {
+            flat_pipeline.release_into(&histogram, &mut rng, &mut st.flat);
+            tree_pipeline.release_into(&histogram, &mut rng, &mut st.tree);
+            st.tree.infer_into(&mut st.engine, &mut st.raw);
+            // Leaf prefix sums reproduce ConsistentTree::range_query exactly.
+            super::leaf_prefix_into(st.tree.shape(), &st.raw, &mut st.raw_prefix);
+            st.nonneg.clone_from(&st.raw);
+            st.engine.tree().zero_round_in_place(&mut st.nonneg);
             sizes
                 .iter()
                 .map(|&size| {
@@ -56,9 +81,15 @@ pub fn compute(cfg: RunConfig) -> Vec<NonNegPoint> {
                     for _ in 0..queries {
                         let q = workload.sample(&mut rng);
                         let truth = histogram.range_count(q) as f64;
-                        fe += (flat.range_query(q, Rounding::NonNegativeInteger) - truth).powi(2);
-                        re += (raw.range_query(q) - truth).powi(2);
-                        ne += (nonneg.range_query(q) - truth).powi(2);
+                        fe +=
+                            (st.flat.range_query(q, Rounding::NonNegativeInteger) - truth).powi(2);
+                        let raw_answer = super::prefix_range_sum(&st.raw_prefix, q);
+                        re += (raw_answer - truth).powi(2);
+                        st.tree
+                            .shape()
+                            .subtree_decomposition_into(q, &mut st.decomp);
+                        let nn_answer = super::decomposition_sum(&st.nonneg, &st.decomp);
+                        ne += (nn_answer - truth).powi(2);
                     }
                     let scale = queries as f64;
                     (fe / scale, re / scale, ne / scale)

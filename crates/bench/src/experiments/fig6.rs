@@ -1,7 +1,7 @@
 //! Fig. 6: universal histograms — range-query error vs range size for `L̃`,
 //! `H̃`, and `H̄` on NetTrace and Search Logs across ε.
 
-use hc_core::{BatchInference, FlatUniversal, HierarchicalUniversal, Rounding};
+use hc_core::{BatchInference, FlatRelease, FlatUniversal, HierarchicalUniversal, Rounding};
 use hc_data::{dyadic_sizes, RangeWorkload};
 use hc_mech::{Epsilon, TreeShape};
 use hc_noise::SeedStream;
@@ -58,16 +58,31 @@ pub fn compute_curve(
     let queries_per_size = ranges_per_size(cfg);
 
     // Each trial returns, per size, the (flat, subtree, inferred) sums of
-    // squared errors over its random ranges. Workers share one inference
-    // engine per thread so the Theorem-3 passes reuse scratch across trials.
+    // squared errors over its random ranges. Workers carry one reusable
+    // state each — engine scratch, both releases, the inferred vector, and a
+    // decomposition buffer — so after the first trial the whole
+    // release→inference pipeline allocates nothing.
+    struct TrialState {
+        engine: BatchInference,
+        flat: FlatRelease,
+        tree: hc_core::TreeRelease,
+        hbar: Vec<f64>,
+        decomp: Vec<usize>,
+    }
     let per_trial = crate::runner::run_trials_with(
         cfg.trials,
         seeds.substream(1),
-        || BatchInference::for_shape(&shape),
-        |_t, mut rng, engine| {
-            let flat = flat_pipeline.release(&histogram, &mut rng);
-            let tree = tree_pipeline.release(&histogram, &mut rng);
-            let consistent = tree.infer_rounded_with(engine);
+        || TrialState {
+            engine: BatchInference::for_shape(&shape),
+            flat: FlatRelease::from_noisy(eps, vec![0.0; n]),
+            tree: tree_pipeline.empty_release(n),
+            hbar: Vec::new(),
+            decomp: Vec::new(),
+        },
+        |_t, mut rng, st| {
+            flat_pipeline.release_into(&histogram, &mut rng, &mut st.flat);
+            tree_pipeline.release_into(&histogram, &mut rng, &mut st.tree);
+            st.tree.infer_rounded_into(&mut st.engine, &mut st.hbar);
             let mut sums = Vec::with_capacity(sizes.len());
             for &size in &sizes {
                 let workload = RangeWorkload::new(n, size);
@@ -75,9 +90,19 @@ pub fn compute_curve(
                 for _ in 0..queries_per_size {
                     let q = workload.sample(&mut rng);
                     let truth = histogram.range_count(q) as f64;
-                    let f = flat.range_query(q, Rounding::NonNegativeInteger);
-                    let s = tree.range_query_subtree(q, Rounding::NonNegativeInteger);
-                    let i = consistent.range_query(q);
+                    let f = st.flat.range_query(q, Rounding::NonNegativeInteger);
+                    // One decomposition serves both tree estimators: H̃ sums
+                    // the rounded noisy nodes, H̄ the zeroed/rounded inferred
+                    // nodes — same node set, same summation order as the
+                    // per-estimator query paths.
+                    st.tree
+                        .shape()
+                        .subtree_decomposition_into(q, &mut st.decomp);
+                    let mut s = 0.0;
+                    for &v in &st.decomp {
+                        s += Rounding::NonNegativeInteger.apply(st.tree.noisy_values()[v]);
+                    }
+                    let i = super::decomposition_sum(&st.hbar, &st.decomp);
                     fe += (f - truth) * (f - truth);
                     se += (s - truth) * (s - truth);
                     ie += (i - truth) * (i - truth);

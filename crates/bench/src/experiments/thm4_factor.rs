@@ -2,7 +2,7 @@
 //! `(2(ℓ−1)(k−1) − k)/3` — a factor of 9.33 in the paper's height-16
 //! binary tree.
 
-use hc_core::{theory, BatchInference, HierarchicalUniversal, Rounding};
+use hc_core::{theory, BatchInference, HierarchicalUniversal};
 use hc_data::{Domain, Histogram};
 use hc_mech::{Epsilon, TreeShape};
 use hc_noise::SeedStream;
@@ -43,15 +43,35 @@ pub fn compute_at_height(cfg: RunConfig, height: usize) -> Thm4Outcome {
 
     let seeds = SeedStream::new(cfg.seed);
     let trials = cfg.trials.max(if cfg.quick { 30 } else { 200 });
+    // Per-worker reusable release/inference buffers (see fig6).
+    struct TrialState {
+        engine: BatchInference,
+        release: hc_core::TreeRelease,
+        hbar: Vec<f64>,
+        prefix: Vec<f64>,
+        decomp: Vec<usize>,
+    }
     let outcomes = crate::runner::run_trials_with(
         trials,
         seeds,
-        || BatchInference::for_shape(&shape),
-        |_t, mut rng, engine| {
-            let release = pipeline.release(&histogram, &mut rng);
+        || TrialState {
+            engine: BatchInference::for_shape(&shape),
+            release: pipeline.empty_release(n),
+            hbar: Vec::new(),
+            prefix: Vec::new(),
+            decomp: Vec::new(),
+        },
+        |_t, mut rng, st| {
+            pipeline.release_into(&histogram, &mut rng, &mut st.release);
             // No rounding: Theorem 4 is about the linear estimators themselves.
-            let subtree = release.range_query_subtree(q, Rounding::None);
-            let inferred = release.infer_with(engine).range_query(q);
+            st.release
+                .shape()
+                .subtree_decomposition_into(q, &mut st.decomp);
+            let subtree = super::decomposition_sum(st.release.noisy_values(), &st.decomp);
+            st.release.infer_into(&mut st.engine, &mut st.hbar);
+            // Leaf prefix sums reproduce ConsistentTree::range_query exactly.
+            super::leaf_prefix_into(st.release.shape(), &st.hbar, &mut st.prefix);
+            let inferred = super::prefix_range_sum(&st.prefix, q);
             (
                 (subtree - truth) * (subtree - truth),
                 (inferred - truth) * (inferred - truth),

@@ -24,16 +24,22 @@ where
 /// share a handful of allocations instead of allocating per trial. Because
 /// each trial's randomness comes only from its own seeded RNG, results are
 /// still bit-identical regardless of thread count or scheduling.
+///
+/// Worker count defaults to the available parallelism; the `HC_THREADS`
+/// environment variable overrides it ([`hc_core::effective_threads`]) so CI
+/// and bench runs can pin the fan-out deterministically.
 pub fn run_trials_with<T, S, I, F>(trials: usize, seeds: SeedStream, init: I, body: F) -> Vec<T>
 where
     T: Send,
     I: Fn() -> S + Sync,
     F: Fn(usize, StdRng, &mut S) -> T + Sync,
 {
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(trials.max(1));
+    let threads = hc_core::effective_threads(
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    )
+    .min(trials.max(1));
 
     if threads <= 1 || trials <= 1 {
         let mut state = init();

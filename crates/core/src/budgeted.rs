@@ -14,7 +14,7 @@ use hc_mech::{Epsilon, HierarchicalQuery, QuerySequence, TreeShape};
 use hc_noise::Laplace;
 use rand::Rng;
 
-use crate::engine::LevelTree;
+use crate::engine::{BatchInference, LevelTree};
 use crate::hier::ConsistentTree;
 
 /// How the total ε is divided among the tree's levels (depth 0 = root).
@@ -101,23 +101,44 @@ impl BudgetedHierarchical {
     ) -> BudgetedTreeRelease {
         let query = HierarchicalQuery::new(self.branching);
         let shape = query.shape(histogram.len());
-        let level_eps = self.split.level_epsilons(self.epsilon, shape.height());
-        let level_variances: Vec<f64> = level_eps.iter().map(|&e| 2.0 / (e * e)).collect();
-
-        let mut values = query.evaluate(histogram);
-        for (depth, &eps_d) in level_eps.iter().enumerate() {
-            let noise = Laplace::centered(1.0 / eps_d).expect("positive scale");
-            for v in shape.level(depth) {
-                values[v] += noise.sample(rng);
-            }
-        }
-        BudgetedTreeRelease {
+        let mut out = BudgetedTreeRelease {
             shape,
             domain_size: histogram.len(),
-            noisy: values,
-            level_variances,
+            noisy: Vec::new(),
+            level_variances: Vec::new(),
             epsilon: self.epsilon,
+        };
+        self.release_into(histogram, rng, &mut out);
+        out
+    }
+
+    /// Re-releases into an existing [`BudgetedTreeRelease`], reusing its
+    /// O(nodes) buffers (only the O(height) per-level budget table is
+    /// rebuilt) — bit-identical to [`Self::release`] at the same RNG state.
+    pub fn release_into<R: Rng + ?Sized>(
+        &self,
+        histogram: &Histogram,
+        rng: &mut R,
+        out: &mut BudgetedTreeRelease,
+    ) {
+        let query = HierarchicalQuery::new(self.branching);
+        let shape = query.shape(histogram.len());
+        let level_eps = self.split.level_epsilons(self.epsilon, shape.height());
+        out.level_variances.clear();
+        out.level_variances
+            .extend(level_eps.iter().map(|&e| 2.0 / (e * e)));
+
+        query.evaluate_into(histogram, &mut out.noisy);
+        for (depth, &eps_d) in level_eps.iter().enumerate() {
+            // One distribution per level, constructed once per release —
+            // each level's scale really does differ, so this is the hoisted
+            // form (the per-node construction would be height× the work).
+            let noise = Laplace::centered(1.0 / eps_d).expect("positive scale");
+            noise.add_noise(rng, &mut out.noisy[shape.level(depth)]);
         }
+        out.shape = shape;
+        out.domain_size = histogram.len();
+        out.epsilon = self.epsilon;
     }
 }
 
@@ -194,6 +215,16 @@ impl BudgetedTreeRelease {
             engine.infer(&self.noisy),
             self.domain_size,
         )
+    }
+
+    /// [`Self::infer`] through a caller-owned [`BatchInference`]: the GLS
+    /// tables are recompiled only when the shape or the per-level variances
+    /// change ([`BatchInference::ensure_level_variances`]) and the scratch
+    /// buffer is reused, so repeated budgeted trials allocate only results.
+    pub fn infer_with(&self, engine: &mut BatchInference) -> ConsistentTree {
+        engine.ensure_level_variances(&self.shape, &self.level_variances);
+        let h = engine.infer(&self.noisy);
+        ConsistentTree::new(self.shape.clone(), h, self.domain_size)
     }
 }
 
@@ -279,6 +310,25 @@ mod tests {
                 &rel.variances(),
             );
             assert_eq!(rel.infer().node_values(), &reference[..]);
+        }
+    }
+
+    #[test]
+    fn release_into_and_infer_with_match_the_owned_paths() {
+        let h = histogram(32);
+        let pipeline =
+            BudgetedHierarchical::binary(eps(0.4), BudgetSplit::Geometric { ratio: 1.3 });
+        let mut engine = BatchInference::for_shape(&TreeShape::for_domain(32, 2));
+        let mut reused = pipeline.release(&h, &mut rng_from_seed(20));
+        for seed in [21u64, 22, 23] {
+            let owned = pipeline.release(&h, &mut rng_from_seed(seed));
+            pipeline.release_into(&h, &mut rng_from_seed(seed), &mut reused);
+            assert_eq!(reused.noisy_values(), owned.noisy_values());
+            assert_eq!(reused.level_variances(), owned.level_variances());
+            assert_eq!(
+                reused.infer_with(&mut engine).node_values(),
+                owned.infer().node_values()
+            );
         }
     }
 

@@ -53,7 +53,7 @@ pub mod universal;
 pub mod weighted;
 
 pub use budgeted::{BudgetSplit, BudgetedHierarchical, BudgetedTreeRelease};
-pub use engine::{BatchInference, LevelTree};
+pub use engine::{effective_threads, BatchInference, LevelTree};
 pub use error::{mean_absolute_error, per_position_squared_error, sum_squared_error};
 pub use hier::{enforce_nonnegativity, hierarchical_inference, ConsistentTree};
 pub use isotonic::{isotonic_regression, isotonic_regression_weighted, minmax_reference};

@@ -21,7 +21,7 @@ use hc_mech::{Epsilon, HierarchicalQuery, LaplaceMechanism, TreeShape, UnitQuery
 use rand::Rng;
 
 use crate::engine::{BatchInference, LevelTree};
-use crate::hier::{enforce_nonnegativity, ConsistentTree};
+use crate::hier::ConsistentTree;
 
 /// Post-processing policy applied to released counts before answering
 /// queries (Sec. 5.2's protocol).
@@ -35,8 +35,9 @@ pub enum Rounding {
 }
 
 impl Rounding {
+    /// Applies the policy to one value.
     #[inline]
-    fn apply(self, v: f64) -> f64 {
+    pub fn apply(self, v: f64) -> f64 {
         match self {
             Rounding::None => v,
             Rounding::NonNegativeInteger => v.round().max(0.0),
@@ -64,8 +65,24 @@ impl FlatUniversal {
     /// Releases `l̃ = L̃(I)`.
     pub fn release<R: Rng + ?Sized>(&self, histogram: &Histogram, rng: &mut R) -> FlatRelease {
         let mech = LaplaceMechanism::new(self.epsilon);
-        let output = mech.release(&UnitQuery, histogram, rng);
-        FlatRelease::from_noisy(self.epsilon, output.into_values())
+        let mut noisy = Vec::new();
+        mech.release_into(&UnitQuery, histogram, rng, &mut noisy);
+        FlatRelease::from_noisy(self.epsilon, noisy)
+    }
+
+    /// Re-releases into an existing [`FlatRelease`], reusing its buffers —
+    /// allocation-free after warm-up, bit-identical to [`Self::release`] at
+    /// the same RNG state.
+    pub fn release_into<R: Rng + ?Sized>(
+        &self,
+        histogram: &Histogram,
+        rng: &mut R,
+        out: &mut FlatRelease,
+    ) {
+        let mech = LaplaceMechanism::new(self.epsilon);
+        let mut noisy = std::mem::take(&mut out.noisy);
+        mech.release_into(&UnitQuery, histogram, rng, &mut noisy);
+        out.refill(self.epsilon, noisy);
     }
 }
 
@@ -81,19 +98,32 @@ pub struct FlatRelease {
 impl FlatRelease {
     /// Wraps an existing noisy unit-count vector.
     pub fn from_noisy(epsilon: Epsilon, noisy: Vec<f64>) -> Self {
-        let mut prefix_raw = Vec::with_capacity(noisy.len() + 1);
-        let mut prefix_rounded = Vec::with_capacity(noisy.len() + 1);
-        prefix_raw.push(0.0);
-        prefix_rounded.push(0.0);
-        for (i, &v) in noisy.iter().enumerate() {
-            prefix_raw.push(prefix_raw[i] + v);
-            prefix_rounded.push(prefix_rounded[i] + Rounding::NonNegativeInteger.apply(v));
-        }
-        Self {
+        let mut release = Self {
             epsilon,
-            noisy,
-            prefix_raw,
-            prefix_rounded,
+            noisy: Vec::new(),
+            prefix_raw: Vec::new(),
+            prefix_rounded: Vec::new(),
+        };
+        release.refill(epsilon, noisy);
+        release
+    }
+
+    /// Rebuilds the release around a new noisy vector, recycling the prefix
+    /// buffers — the reuse core shared by [`Self::from_noisy`] and
+    /// [`FlatUniversal::release_into`].
+    fn refill(&mut self, epsilon: Epsilon, noisy: Vec<f64>) {
+        self.epsilon = epsilon;
+        self.noisy = noisy;
+        self.prefix_raw.clear();
+        self.prefix_rounded.clear();
+        self.prefix_raw.reserve(self.noisy.len() + 1);
+        self.prefix_rounded.reserve(self.noisy.len() + 1);
+        self.prefix_raw.push(0.0);
+        self.prefix_rounded.push(0.0);
+        for (i, &v) in self.noisy.iter().enumerate() {
+            self.prefix_raw.push(self.prefix_raw[i] + v);
+            self.prefix_rounded
+                .push(self.prefix_rounded[i] + Rounding::NonNegativeInteger.apply(v));
         }
     }
 
@@ -161,13 +191,50 @@ impl HierarchicalUniversal {
     /// Releases `h̃ = H̃(I)`.
     pub fn release<R: Rng + ?Sized>(&self, histogram: &Histogram, rng: &mut R) -> TreeRelease {
         let mech = LaplaceMechanism::new(self.epsilon);
-        let output = mech.release(&self.query, histogram, rng);
+        let mut noisy = Vec::new();
+        mech.release_into(&self.query, histogram, rng, &mut noisy);
         TreeRelease {
             epsilon: self.epsilon,
             shape: self.query.shape(histogram.len()),
             domain_size: histogram.len(),
-            noisy: output.into_values(),
+            noisy,
         }
+    }
+
+    /// Re-releases into an existing [`TreeRelease`], reusing its noisy
+    /// buffer — allocation-free after warm-up when the shape is unchanged,
+    /// bit-identical to [`Self::release`] at the same RNG state.
+    pub fn release_into<R: Rng + ?Sized>(
+        &self,
+        histogram: &Histogram,
+        rng: &mut R,
+        out: &mut TreeRelease,
+    ) {
+        let mech = LaplaceMechanism::new(self.epsilon);
+        mech.release_into(&self.query, histogram, rng, &mut out.noisy);
+        out.shape = self.query.shape(histogram.len());
+        out.epsilon = self.epsilon;
+        out.domain_size = histogram.len();
+    }
+
+    /// A placeholder [`TreeRelease`] (all-zero noisy values) sized for
+    /// `domain_size` — the warm-up target trial loops hand to
+    /// [`Self::release_into`] from their per-worker init.
+    pub fn empty_release(&self, domain_size: usize) -> TreeRelease {
+        let shape = self.query.shape(domain_size);
+        let noisy = vec![0.0; shape.nodes()];
+        TreeRelease {
+            epsilon: self.epsilon,
+            shape,
+            domain_size,
+            noisy,
+        }
+    }
+
+    /// The hoisted mechanism for this pipeline over `domain_size` — what
+    /// [`BatchInference::release_and_infer`] consumes.
+    pub fn prepare(&self, domain_size: usize) -> hc_mech::PreparedMechanism<HierarchicalQuery> {
+        LaplaceMechanism::new(self.epsilon).prepare(self.query, domain_size)
     }
 }
 
@@ -257,6 +324,14 @@ impl TreeRelease {
         ConsistentTree::new(self.shape.clone(), h, self.domain_size)
     }
 
+    /// The raw Theorem-3 node values into a caller-owned buffer — the
+    /// allocation-free core of [`Self::infer_with`] for trial loops that
+    /// answer queries straight from the flat vector.
+    pub fn infer_into(&self, engine: &mut BatchInference, out: &mut Vec<f64>) {
+        engine.ensure_shape(&self.shape);
+        engine.infer_into(&self.noisy, out);
+    }
+
     /// `H̄` as run in the experiments (Sec. 5.2 protocol): Theorem 3
     /// inference, then the Sec. 4.2 non-negativity subtree zeroing, then
     /// rounding every node value to a non-negative integer.
@@ -273,18 +348,28 @@ impl TreeRelease {
 
     /// [`Self::infer_rounded`] through a caller-owned [`BatchInference`]
     /// (see [`Self::infer_with`]).
+    ///
+    /// The zeroing + rounding run as the engine's fused level sweep
+    /// ([`LevelTree::zero_round_in_place`]), bit-identical to the
+    /// [`crate::hier::enforce_nonnegativity`] oracle walk followed by
+    /// per-node rounding.
     pub fn infer_rounded_with(&self, engine: &mut BatchInference) -> RoundedTree {
-        engine.ensure_shape(&self.shape);
-        let h = engine.infer(&self.noisy);
-        let mut values = enforce_nonnegativity(&self.shape, &h);
-        for v in &mut values {
-            *v = Rounding::NonNegativeInteger.apply(*v);
-        }
+        let mut values = Vec::new();
+        self.infer_rounded_into(engine, &mut values);
         RoundedTree {
             shape: self.shape.clone(),
             domain_size: self.domain_size,
             values,
         }
+    }
+
+    /// The full `H̄` post-processing (Theorem 3 → Sec. 4.2 zeroing → Sec. 5.2
+    /// rounding) into a caller-owned node-value buffer — the allocation-free
+    /// form trial loops pair with [`HierarchicalUniversal::release_into`].
+    /// The values written are exactly [`Self::infer_rounded`]'s.
+    pub fn infer_rounded_into(&self, engine: &mut BatchInference, out: &mut Vec<f64>) {
+        engine.ensure_shape(&self.shape);
+        engine.infer_zero_round_into(&self.noisy, out);
     }
 }
 
@@ -493,5 +578,61 @@ mod tests {
         let shape = TreeShape::new(2, 3);
         let rel = TreeRelease::from_noisy(eps(1.0), shape, 3, vec![0.0; 7]);
         let _ = rel.range_query_subtree(Interval::new(0, 3), Rounding::None);
+    }
+
+    #[test]
+    fn release_into_matches_owned_release_bit_for_bit() {
+        let h = example();
+        let flat = FlatUniversal::new(eps(0.4));
+        let tree = HierarchicalUniversal::binary(eps(0.4));
+        let mut flat_buf = flat.release(&h, &mut rng_from_seed(1));
+        let mut tree_buf = tree.empty_release(h.len());
+        for seed in [110u64, 111, 112] {
+            let owned = flat.release(&h, &mut rng_from_seed(seed));
+            flat.release_into(&h, &mut rng_from_seed(seed), &mut flat_buf);
+            assert_eq!(flat_buf.counts(), owned.counts());
+            let q = Interval::new(0, 3);
+            assert_eq!(
+                flat_buf.range_query(q, Rounding::NonNegativeInteger),
+                owned.range_query(q, Rounding::NonNegativeInteger)
+            );
+
+            let owned_tree = tree.release(&h, &mut rng_from_seed(seed));
+            tree.release_into(&h, &mut rng_from_seed(seed), &mut tree_buf);
+            assert_eq!(tree_buf.noisy_values(), owned_tree.noisy_values());
+            assert_eq!(tree_buf.shape(), owned_tree.shape());
+        }
+    }
+
+    #[test]
+    fn infer_rounded_into_matches_infer_rounded() {
+        let h = example();
+        let pipeline = HierarchicalUniversal::binary(eps(0.3));
+        let mut rng = rng_from_seed(113);
+        let mut engine = BatchInference::for_shape(&TreeShape::for_domain(h.len(), 2));
+        let mut out = Vec::new();
+        for _ in 0..10 {
+            let rel = pipeline.release(&h, &mut rng);
+            rel.infer_rounded_into(&mut engine, &mut out);
+            assert_eq!(out, rel.infer_rounded().node_values());
+        }
+    }
+
+    #[test]
+    fn release_and_infer_rounded_matches_release_then_infer() {
+        // The engine's fused trial ≡ the estimator-type path, bit for bit.
+        let h = example();
+        let pipeline = HierarchicalUniversal::binary(eps(0.2));
+        let prepared = pipeline.prepare(h.len());
+        let shape = TreeShape::for_domain(h.len(), 2);
+        let mut engine = BatchInference::for_shape(&shape);
+        let mut out = Vec::new();
+        for seed in [114u64, 115, 116] {
+            engine.release_and_infer_rounded(&prepared, &h, &mut rng_from_seed(seed), &mut out);
+            let old = pipeline
+                .release(&h, &mut rng_from_seed(seed))
+                .infer_rounded();
+            assert_eq!(out, old.node_values());
+        }
     }
 }

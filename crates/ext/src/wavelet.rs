@@ -14,6 +14,8 @@
 //! histogram. That is the conceptual contrast with `H̃`/`H̄` the related-work
 //! section draws.
 
+use std::borrow::Cow;
+
 use hc_data::{Histogram, Interval};
 use hc_mech::{Epsilon, QuerySequence, TreeShape};
 use hc_noise::Laplace;
@@ -100,8 +102,8 @@ impl QuerySequence for HaarQuery {
         self.shape(domain_size).height() as f64
     }
 
-    fn label(&self) -> String {
-        "W".to_owned()
+    fn label(&self) -> Cow<'static, str> {
+        Cow::Borrowed("W")
     }
 }
 

@@ -1,5 +1,7 @@
 //! The Laplace mechanism over query sequences (Proposition 1).
 
+use std::borrow::Cow;
+
 use hc_data::Histogram;
 use hc_noise::Laplace;
 use rand::Rng;
@@ -12,7 +14,7 @@ pub struct NoisyOutput {
     values: Vec<f64>,
     epsilon: Epsilon,
     noise_scale: f64,
-    strategy: String,
+    strategy: Cow<'static, str>,
 }
 
 impl NoisyOutput {
@@ -66,6 +68,49 @@ impl LaplaceMechanism {
         self.epsilon
     }
 
+    /// The Laplace scale `b = Δ_Q/ε` for `query` over a domain of
+    /// `domain_size` bins — the single source of truth shared by
+    /// [`Self::release`], [`Self::release_into`], [`Self::noise_variance`],
+    /// and [`PreparedMechanism`].
+    pub fn noise_scale<Q: QuerySequence + ?Sized>(&self, query: &Q, domain_size: usize) -> f64 {
+        query.sensitivity(domain_size) / self.epsilon.value()
+    }
+
+    /// Per-answer noise variance `2(Δ_Q/ε)²`, derived from the same scale as
+    /// the release paths.
+    pub fn noise_variance<Q: QuerySequence + ?Sized>(&self, query: &Q, domain_size: usize) -> f64 {
+        let b = self.noise_scale(query, domain_size);
+        2.0 * b * b
+    }
+
+    /// The calibrated noise distribution `Lap(Δ_Q/ε)`.
+    fn noise_for<Q: QuerySequence + ?Sized>(&self, query: &Q, domain_size: usize) -> Laplace {
+        Laplace::centered(self.noise_scale(query, domain_size))
+            .expect("positive scale from valid ε and positive sensitivity")
+    }
+
+    /// Binds this mechanism to one query over one domain size: sensitivity,
+    /// noise scale, distribution, and strategy label are computed once and
+    /// amortized over every subsequent release.
+    ///
+    /// This is the hook for trial loops — the per-release path of
+    /// [`PreparedMechanism::release_into`] constructs nothing.
+    pub fn prepare<Q: QuerySequence>(&self, query: Q, domain_size: usize) -> PreparedMechanism<Q> {
+        let scale = self.noise_scale(&query, domain_size);
+        let laplace = self.noise_for(&query, domain_size);
+        let label = query.label();
+        let output_len = query.output_len(domain_size);
+        PreparedMechanism {
+            query,
+            epsilon: self.epsilon,
+            domain_size,
+            output_len,
+            scale,
+            laplace,
+            label,
+        }
+    }
+
     /// Releases `Q̃(I) = Q(I) + ⟨Lap(Δ_Q/ε)⟩^d`.
     pub fn release<Q: QuerySequence + ?Sized, R: Rng + ?Sized>(
         &self,
@@ -74,18 +119,36 @@ impl LaplaceMechanism {
         rng: &mut R,
     ) -> NoisyOutput {
         let mut values = query.evaluate(histogram);
-        let sensitivity = query.sensitivity(histogram.len());
-        let scale = sensitivity / self.epsilon.value();
-        let laplace = Laplace::centered(scale).expect("positive scale from valid ε");
-        for v in &mut values {
-            *v += laplace.sample(rng);
-        }
+        let scale = self.noise_scale(query, histogram.len());
+        self.noise_for(query, histogram.len())
+            .add_noise(rng, &mut values);
         NoisyOutput {
             values,
             epsilon: self.epsilon,
             noise_scale: scale,
             strategy: query.label(),
         }
+    }
+
+    /// [`Self::release`] into a caller-owned buffer: evaluates the query via
+    /// [`QuerySequence::evaluate_into`] and perturbs it in place, returning
+    /// the noise scale used. No [`NoisyOutput`] wrapper, no label — once
+    /// `values` has warmed up the whole release is allocation-free (for
+    /// query sequences whose `evaluate_into` is).
+    ///
+    /// Draws noise in the same order as [`Self::release`], so for a fixed
+    /// RNG state the two paths produce bit-identical values.
+    pub fn release_into<Q: QuerySequence + ?Sized, R: Rng + ?Sized>(
+        &self,
+        query: &Q,
+        histogram: &Histogram,
+        rng: &mut R,
+        values: &mut Vec<f64>,
+    ) -> f64 {
+        query.evaluate_into(histogram, values);
+        self.noise_for(query, histogram.len())
+            .add_noise(rng, values);
+        self.noise_scale(query, histogram.len())
     }
 
     /// The true (noise-free) evaluation — used by tests and the theoretical
@@ -96,6 +159,99 @@ impl LaplaceMechanism {
         histogram: &Histogram,
     ) -> Vec<f64> {
         query.evaluate(histogram)
+    }
+}
+
+/// A [`LaplaceMechanism`] bound to one query sequence and domain size, with
+/// the calibrated [`Laplace`] distribution constructed once.
+///
+/// The experiment protocol releases the same strategy thousands of times
+/// over one histogram; this type hoists everything release-invariant
+/// (sensitivity, scale, distribution, label) out of that loop.
+#[derive(Debug, Clone)]
+pub struct PreparedMechanism<Q> {
+    query: Q,
+    epsilon: Epsilon,
+    domain_size: usize,
+    output_len: usize,
+    scale: f64,
+    laplace: Laplace,
+    label: Cow<'static, str>,
+}
+
+impl<Q: QuerySequence> PreparedMechanism<Q> {
+    /// The bound query sequence.
+    pub fn query(&self) -> &Q {
+        &self.query
+    }
+
+    /// The ε the mechanism was calibrated to.
+    pub fn epsilon(&self) -> Epsilon {
+        self.epsilon
+    }
+
+    /// The domain size the preparation assumed (releases assert it).
+    pub fn domain_size(&self) -> usize {
+        self.domain_size
+    }
+
+    /// Number of answers per release (computed once at preparation).
+    pub fn output_len(&self) -> usize {
+        self.output_len
+    }
+
+    /// The hoisted Laplace scale `b = Δ_Q/ε`.
+    pub fn noise_scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Per-answer noise variance `2b²`, from the same hoisted scale.
+    pub fn noise_variance(&self) -> f64 {
+        2.0 * self.scale * self.scale
+    }
+
+    /// The strategy label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The hoisted calibrated distribution `Lap(Δ_Q/ε)` — exposed so fused
+    /// release→inference pipelines can interleave the noise draws with
+    /// their own passes (they must preserve the answer-index draw order to
+    /// stay bit-identical to [`Self::release_into`]).
+    pub fn noise(&self) -> Laplace {
+        self.laplace
+    }
+
+    /// Releases into a caller-owned buffer with zero allocations after
+    /// warm-up; bit-identical to [`LaplaceMechanism::release`] at the same
+    /// RNG state.
+    pub fn release_into<R: Rng + ?Sized>(
+        &self,
+        histogram: &Histogram,
+        rng: &mut R,
+        values: &mut Vec<f64>,
+    ) {
+        assert_eq!(
+            histogram.len(),
+            self.domain_size,
+            "prepared for a different domain size"
+        );
+        self.query.evaluate_into(histogram, values);
+        self.laplace.add_noise(rng, values);
+    }
+
+    /// Releases an owned [`NoisyOutput`] (allocates the value vector and, if
+    /// the label is dynamic, one label clone).
+    pub fn release<R: Rng + ?Sized>(&self, histogram: &Histogram, rng: &mut R) -> NoisyOutput {
+        let mut values = Vec::new();
+        self.release_into(histogram, rng, &mut values);
+        NoisyOutput {
+            values,
+            epsilon: self.epsilon,
+            noise_scale: self.scale,
+            strategy: self.label.clone(),
+        }
     }
 }
 
@@ -118,6 +274,7 @@ mod tests {
         assert!((out_l.noise_scale() - 2.0).abs() < 1e-12); // Δ=1, ε=0.5
         let out_h = mech.release(&HierarchicalQuery::binary(), &example(), &mut rng);
         assert!((out_h.noise_scale() - 6.0).abs() < 1e-12); // Δ=ℓ=3, ε=0.5
+        assert!((mech.noise_variance(&UnitQuery, 4) - 8.0).abs() < 1e-12); // 2b²
     }
 
     #[test]
@@ -177,5 +334,50 @@ mod tests {
         let a = mech.release(&UnitQuery, &example(), &mut rng_from_seed(65));
         let b = mech.release(&UnitQuery, &example(), &mut rng_from_seed(65));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn release_into_is_bit_identical_to_release() {
+        let mech = LaplaceMechanism::new(Epsilon::new(0.3).unwrap());
+        let h = example();
+        for seed in [66u64, 67, 68] {
+            let owned = mech.release(&HierarchicalQuery::binary(), &h, &mut rng_from_seed(seed));
+            let mut buf = vec![f64::NAN; 3]; // wrong size on purpose
+            let scale = mech.release_into(
+                &HierarchicalQuery::binary(),
+                &h,
+                &mut rng_from_seed(seed),
+                &mut buf,
+            );
+            assert_eq!(buf, owned.values());
+            assert_eq!(scale, owned.noise_scale());
+        }
+    }
+
+    #[test]
+    fn prepared_mechanism_matches_ad_hoc_release() {
+        let mech = LaplaceMechanism::new(Epsilon::new(0.7).unwrap());
+        let h = example();
+        let prepared = mech.prepare(HierarchicalQuery::binary(), h.len());
+        assert_eq!(prepared.output_len(), 7);
+        assert_eq!(prepared.label(), "H2");
+        assert!((prepared.noise_variance() - 2.0 * prepared.noise_scale().powi(2)).abs() < 1e-15);
+        let mut buf = Vec::new();
+        for seed in [70u64, 71] {
+            prepared.release_into(&h, &mut rng_from_seed(seed), &mut buf);
+            let adhoc = mech.release(&HierarchicalQuery::binary(), &h, &mut rng_from_seed(seed));
+            assert_eq!(buf, adhoc.values());
+            let owned = prepared.release(&h, &mut rng_from_seed(seed));
+            assert_eq!(owned, adhoc);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "different domain size")]
+    fn prepared_mechanism_rejects_mismatched_domains() {
+        let mech = LaplaceMechanism::new(Epsilon::new(1.0).unwrap());
+        let prepared = mech.prepare(UnitQuery, 8);
+        let mut buf = Vec::new();
+        prepared.release_into(&example(), &mut rng_from_seed(72), &mut buf);
     }
 }

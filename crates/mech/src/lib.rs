@@ -30,7 +30,7 @@ pub mod sequences;
 
 pub use budget::{BudgetError, Epsilon, PrivacyBudget};
 pub use confidence::{laplace_half_width, ConfidenceInterval};
-pub use laplace_mech::{LaplaceMechanism, NoisyOutput};
+pub use laplace_mech::{LaplaceMechanism, NoisyOutput, PreparedMechanism};
 pub use query::QuerySequence;
 pub use sensitivity::empirical_sensitivity;
 pub use sequences::{HierarchicalQuery, SortedQuery, TreeShape, UnitQuery};

@@ -1,5 +1,7 @@
 //! The query-sequence abstraction.
 
+use std::borrow::Cow;
+
 use hc_data::Histogram;
 
 /// A sequence of counting queries `Q = ⟨q₁, …, q_d⟩` over a histogram's
@@ -16,9 +18,24 @@ pub trait QuerySequence {
     /// Evaluates the true answers `Q(I)`.
     fn evaluate(&self, histogram: &Histogram) -> Vec<f64>;
 
+    /// Evaluates `Q(I)` into a caller-owned buffer.
+    ///
+    /// `out` is cleared and resized to [`Self::output_len`]; once its
+    /// capacity has warmed up, implementations that override this method
+    /// allocate nothing (the default delegates to [`Self::evaluate`] and is
+    /// *not* allocation-free). The values written must be bit-identical to
+    /// [`Self::evaluate`]'s.
+    fn evaluate_into(&self, histogram: &Histogram, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend_from_slice(&self.evaluate(histogram));
+    }
+
     /// The L1 sensitivity `Δ_Q`.
     fn sensitivity(&self, domain_size: usize) -> f64;
 
     /// A short strategy label used in reports (e.g. `"L"`, `"S"`, `"H2"`).
-    fn label(&self) -> String;
+    ///
+    /// Returned as a `Cow` so the common strategies are `&'static str`s and
+    /// per-release label construction costs nothing.
+    fn label(&self) -> Cow<'static, str>;
 }

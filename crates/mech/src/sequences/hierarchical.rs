@@ -1,8 +1,15 @@
 //! The hierarchical query sequence `H` and k-ary tree geometry.
 
+use std::borrow::Cow;
+
 use hc_data::{Histogram, Interval};
 
 use crate::QuerySequence;
+
+/// Upper bound on tree heights: a binary tree of height 64 already has more
+/// nodes than a `usize` can index, so the inline offset table below never
+/// constrains a representable tree.
+const MAX_HEIGHT: usize = 64;
 
 /// Geometry of a complete k-ary interval tree (Sec. 4, Fig. 4).
 ///
@@ -12,14 +19,18 @@ use crate::QuerySequence;
 /// (`ℓ = log_k n + 1`).
 ///
 /// All arithmetic is implicit in the index — the tree is never materialized
-/// as a pointer structure.
+/// as a pointer structure, and the offset table is an inline array, so
+/// constructing or cloning a `TreeShape` performs **no heap allocation**
+/// (the release→inference hot loops construct one per trial).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TreeShape {
     branching: usize,
     height: usize,
-    /// `level_offset[d]` is the BFS index of the first node at depth `d`;
-    /// a final sentinel holds the total node count.
-    level_offset: Vec<usize>,
+    /// `level_offset[d]` is the BFS index of the first node at depth `d`
+    /// for `d ≤ height`, with the entry at `height` a sentinel holding the
+    /// total node count; entries beyond that are zero (so derived equality
+    /// over the whole array is equivalent to prefix equality).
+    level_offset: [usize; MAX_HEIGHT + 1],
 }
 
 impl TreeShape {
@@ -28,15 +39,19 @@ impl TreeShape {
     pub fn new(branching: usize, height: usize) -> Self {
         assert!(branching >= 2, "branching factor must be at least 2");
         assert!(height >= 1, "height must be at least 1");
-        let mut level_offset = Vec::with_capacity(height + 1);
+        assert!(
+            height <= MAX_HEIGHT,
+            "height exceeds the representable bound"
+        );
+        let mut level_offset = [0usize; MAX_HEIGHT + 1];
         let mut offset = 0usize;
         let mut width = 1usize;
-        for _ in 0..height {
-            level_offset.push(offset);
+        for slot in level_offset.iter_mut().take(height) {
+            *slot = offset;
             offset += width;
-            width *= branching;
+            width = width.saturating_mul(branching);
         }
-        level_offset.push(offset);
+        level_offset[height] = offset;
         Self {
             branching,
             height,
@@ -96,7 +111,7 @@ impl TreeShape {
     /// `hc-core` inference engine's per-level slices are built on.
     #[inline]
     pub fn level_offsets(&self) -> &[usize] {
-        &self.level_offset
+        &self.level_offset[..self.height + 1]
     }
 
     /// Number of nodes at `depth` (`k^depth` for a complete tree).
@@ -182,13 +197,22 @@ impl TreeShape {
     /// from `H̃`, Sec. 4.2). At most `2ℓ` nodes for binary trees, and more
     /// generally at most `2(k−1)` per level.
     pub fn subtree_decomposition(&self, target: Interval) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.subtree_decomposition_into(target, &mut out);
+        out
+    }
+
+    /// [`Self::subtree_decomposition`] into a caller-owned buffer (cleared
+    /// first) — the allocation-free form used by the experiment trial loops,
+    /// which answer thousands of range queries per release. Nodes are pushed
+    /// in the same order as [`Self::subtree_decomposition`].
+    pub fn subtree_decomposition_into(&self, target: Interval, out: &mut Vec<usize>) {
         assert!(
             target.hi() < self.leaves(),
             "target {target} outside leaf range"
         );
-        let mut out = Vec::new();
-        self.decompose_into(0, target, &mut out);
-        out
+        out.clear();
+        self.decompose_into(0, target, out);
     }
 
     fn decompose_into(&self, v: usize, target: Interval, out: &mut Vec<usize>) {
@@ -238,27 +262,60 @@ impl HierarchicalQuery {
         TreeShape::for_domain(domain_size, self.branching)
     }
 
-    /// Evaluates the tree counts bottom-up over a (zero-padded) histogram.
-    fn tree_counts(&self, histogram: &Histogram) -> Vec<f64> {
+    /// Evaluates the tree counts bottom-up into a caller-owned buffer.
+    ///
+    /// Level-indexed form of the reverse-BFS walk: padding is written as
+    /// zeros directly (no padded histogram copy) and each parent accumulates
+    /// its children in *descending* index order — the order the reverse-BFS
+    /// reference walk adds them — so the output is bit-identical to the
+    /// per-node `values[parent(v)] += values[v]` recurrence while doing no
+    /// division-heavy `parent()` arithmetic and no allocation after warm-up.
+    fn tree_counts_into(&self, histogram: &Histogram, out: &mut Vec<f64>) {
         let shape = self.shape(histogram.len());
-        let padded;
-        let counts: &[u64] = if histogram.len() == shape.leaves() {
-            histogram.counts()
-        } else {
-            padded = histogram.zero_padded(shape.leaves());
-            padded.counts()
-        };
-        let mut values = vec![0.0f64; shape.nodes()];
-        let first_leaf = shape.leaf_node(0);
-        for (i, &c) in counts.iter().enumerate() {
-            values[first_leaf + i] = c as f64;
+        let nodes = shape.nodes();
+        out.resize(nodes, 0.0);
+        let first_leaf = shape.first_leaf();
+        // Leaves: the domain counts, then explicit zero padding — internal
+        // nodes need no initialization because the accumulation below
+        // *assigns* each parent rather than accumulating into it.
+        for (slot, &c) in out[first_leaf..].iter_mut().zip(histogram.counts()) {
+            *slot = c as f64;
         }
-        // Parents accumulate children; iterate bottom-up by index.
-        for v in (1..shape.nodes()).rev() {
-            let parent = shape.parent(v).expect("non-root has parent");
-            values[parent] += values[v];
+        for slot in &mut out[first_leaf + histogram.len()..] {
+            *slot = 0.0;
         }
-        values
+        let offsets = shape.level_offsets();
+        let k = shape.branching();
+        for d in (1..shape.height()).rev() {
+            let (lo, hi) = (offsets[d - 1], offsets[d]);
+            let (parents, rest) = out[lo..].split_at_mut(hi - lo);
+            let children = &rest[..(hi - lo) * k];
+            if k == 2 {
+                // 4-way unrolled; each parent is the reverse-BFS fold
+                // `(0.0 + c₁) + c₀`, written out so the bits can't drift.
+                let n = parents.len();
+                let main = n - n % 4;
+                for i in (0..main).step_by(4) {
+                    let c = &children[2 * i..2 * i + 8];
+                    let p = &mut parents[i..i + 4];
+                    p[0] = (0.0 + c[1]) + c[0];
+                    p[1] = (0.0 + c[3]) + c[2];
+                    p[2] = (0.0 + c[5]) + c[4];
+                    p[3] = (0.0 + c[7]) + c[6];
+                }
+                for i in main..n {
+                    parents[i] = (0.0 + children[2 * i + 1]) + children[2 * i];
+                }
+            } else {
+                for (i, p) in parents.iter_mut().enumerate() {
+                    let mut acc = 0.0f64;
+                    for c in children[i * k..(i + 1) * k].iter().rev() {
+                        acc += c;
+                    }
+                    *p = acc;
+                }
+            }
+        }
     }
 }
 
@@ -268,15 +325,28 @@ impl QuerySequence for HierarchicalQuery {
     }
 
     fn evaluate(&self, histogram: &Histogram) -> Vec<f64> {
-        self.tree_counts(histogram)
+        let mut out = Vec::new();
+        self.tree_counts_into(histogram, &mut out);
+        out
+    }
+
+    fn evaluate_into(&self, histogram: &Histogram, out: &mut Vec<f64>) {
+        self.tree_counts_into(histogram, out);
     }
 
     fn sensitivity(&self, domain_size: usize) -> f64 {
         self.shape(domain_size).height() as f64
     }
 
-    fn label(&self) -> String {
-        format!("H{}", self.branching)
+    fn label(&self) -> Cow<'static, str> {
+        match self.branching {
+            2 => Cow::Borrowed("H2"),
+            3 => Cow::Borrowed("H3"),
+            4 => Cow::Borrowed("H4"),
+            8 => Cow::Borrowed("H8"),
+            16 => Cow::Borrowed("H16"),
+            k => Cow::Owned(format!("H{k}")),
+        }
     }
 }
 
@@ -487,5 +557,51 @@ mod tests {
     fn labels_embed_branching() {
         assert_eq!(HierarchicalQuery::binary().label(), "H2");
         assert_eq!(HierarchicalQuery::new(16).label(), "H16");
+        assert_eq!(HierarchicalQuery::new(5).label(), "H5");
+    }
+
+    /// The old reverse-BFS per-node walk, kept as the evaluation oracle.
+    fn naive_tree_counts(q: &HierarchicalQuery, histogram: &Histogram) -> Vec<f64> {
+        let shape = q.shape(histogram.len());
+        let padded;
+        let counts: &[u64] = if histogram.len() == shape.leaves() {
+            histogram.counts()
+        } else {
+            padded = histogram.zero_padded(shape.leaves());
+            padded.counts()
+        };
+        let mut values = vec![0.0f64; shape.nodes()];
+        let first_leaf = shape.leaf_node(0);
+        for (i, &c) in counts.iter().enumerate() {
+            values[first_leaf + i] = c as f64;
+        }
+        for v in (1..shape.nodes()).rev() {
+            let parent = shape.parent(v).expect("non-root has parent");
+            values[parent] += values[v];
+        }
+        values
+    }
+
+    #[test]
+    fn level_indexed_evaluation_is_bit_identical_to_reverse_bfs_walk() {
+        for (k, n, seed_mult) in [(2usize, 4usize, 1u64), (2, 13, 3), (3, 20, 5), (4, 64, 7)] {
+            let counts: Vec<u64> = (0..n).map(|i| (i as u64 * seed_mult) % 11).collect();
+            let h = Histogram::from_counts(Domain::new("x", n).unwrap(), counts);
+            let q = HierarchicalQuery::new(k);
+            assert_eq!(q.evaluate(&h), naive_tree_counts(&q, &h), "k={k} n={n}");
+        }
+    }
+
+    #[test]
+    fn evaluate_into_reuses_oversized_buffers() {
+        let q = HierarchicalQuery::binary();
+        let big = Histogram::from_counts(Domain::new("x", 16).unwrap(), vec![1; 16]);
+        let small = example();
+        let mut buf = Vec::new();
+        q.evaluate_into(&big, &mut buf);
+        assert_eq!(buf.len(), 31);
+        // Shrinking to a smaller tree must fully reinitialize the prefix.
+        q.evaluate_into(&small, &mut buf);
+        assert_eq!(buf, q.evaluate(&small));
     }
 }

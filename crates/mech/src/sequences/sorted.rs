@@ -1,5 +1,7 @@
 //! The sorted query sequence `S` for unattributed histograms.
 
+use std::borrow::Cow;
+
 use hc_data::Histogram;
 
 use crate::QuerySequence;
@@ -32,8 +34,8 @@ impl QuerySequence for SortedQuery {
         1.0
     }
 
-    fn label(&self) -> String {
-        "S".to_owned()
+    fn label(&self) -> Cow<'static, str> {
+        Cow::Borrowed("S")
     }
 }
 

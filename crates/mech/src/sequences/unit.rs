@@ -1,5 +1,7 @@
 //! The unit-length query sequence `L`.
 
+use std::borrow::Cow;
+
 use hc_data::Histogram;
 
 use crate::QuerySequence;
@@ -21,12 +23,17 @@ impl QuerySequence for UnitQuery {
         histogram.counts_f64()
     }
 
+    fn evaluate_into(&self, histogram: &Histogram, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(histogram.counts().iter().map(|&c| c as f64));
+    }
+
     fn sensitivity(&self, _domain_size: usize) -> f64 {
         1.0
     }
 
-    fn label(&self) -> String {
-        "L".to_owned()
+    fn label(&self) -> Cow<'static, str> {
+        Cow::Borrowed("L")
     }
 }
 

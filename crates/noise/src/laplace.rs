@@ -98,22 +98,44 @@ impl Laplace {
     /// Draws one sample by inverse-CDF transform of a uniform variate.
     ///
     /// Uses `u ~ Uniform(-1/2, 1/2)` and returns
-    /// `mu - b * sign(u) * ln(1 - 2|u|)`, which is exact and branch-light.
+    /// `mu - b * sign(u) * ln(1 - 2|u|)`, which is exact and branchless:
+    /// the sign transfer is a `copysign` rather than a 50/50 branch the
+    /// predictor cannot learn (`u` is never `-0.0` — `0.5 − x` for
+    /// `x ∈ [0, 1)` only hits zero at `x = 0.5`, which gives `+0.0` — and
+    /// `a + (-m)` is IEEE-identical to `a − m`, so the samples match the
+    /// branching formulation bit for bit).
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
         // `random::<f64>()` is uniform on [0, 1); shift to (-1/2, 1/2].
         let u = 0.5 - rng.random::<f64>();
         let magnitude = -self.b * (1.0 - 2.0 * u.abs()).ln();
-        if u < 0.0 {
-            self.mu - magnitude
-        } else {
-            self.mu + magnitude
+        self.mu + magnitude.copysign(u)
+    }
+
+    /// Fills `out` with i.i.d. samples, overwriting its contents.
+    ///
+    /// This is the buffer-reuse primitive behind the allocation-free release
+    /// paths: the caller owns `out` and recycles it across trials.
+    pub fn fill<R: Rng + ?Sized>(&self, rng: &mut R, out: &mut [f64]) {
+        for slot in out {
+            *slot = self.sample(rng);
         }
     }
 
-    /// Fills `out` with i.i.d. samples.
+    /// Fills `out` with i.i.d. samples (alias of [`Self::fill`]).
     pub fn sample_into<R: Rng + ?Sized>(&self, rng: &mut R, out: &mut [f64]) {
-        for slot in out {
-            *slot = self.sample(rng);
+        self.fill(rng, out);
+    }
+
+    /// Adds one i.i.d. sample to each element of `values` in place — the
+    /// `q̃ = Q(I) + ⟨Lap(b)⟩` perturbation of Proposition 1 without the
+    /// intermediate noise vector.
+    ///
+    /// Draws exactly one sample per element in slice order, so a release
+    /// built on this consumes the RNG stream identically to one that calls
+    /// [`Self::sample`] per answer.
+    pub fn add_noise<R: Rng + ?Sized>(&self, rng: &mut R, values: &mut [f64]) {
+        for v in values {
+            *v += self.sample(rng);
         }
     }
 
@@ -228,5 +250,26 @@ mod tests {
         let mut buf = vec![f64::NAN; 64];
         d.sample_into(&mut rng, &mut buf);
         assert!(buf.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn fill_matches_per_sample_draws() {
+        let d = Laplace::centered(2.5).unwrap();
+        let mut filled = vec![0.0f64; 33];
+        d.fill(&mut rng_from_seed(11), &mut filled);
+        let mut rng = rng_from_seed(11);
+        let singles: Vec<f64> = (0..33).map(|_| d.sample(&mut rng)).collect();
+        assert_eq!(filled, singles);
+    }
+
+    #[test]
+    fn add_noise_consumes_the_same_stream_as_per_sample_addition() {
+        let d = Laplace::centered(0.7).unwrap();
+        let base: Vec<f64> = (0..50).map(|i| i as f64 * 0.5 - 3.0).collect();
+        let mut perturbed = base.clone();
+        d.add_noise(&mut rng_from_seed(12), &mut perturbed);
+        let mut rng = rng_from_seed(12);
+        let reference: Vec<f64> = base.iter().map(|v| v + d.sample(&mut rng)).collect();
+        assert_eq!(perturbed, reference);
     }
 }

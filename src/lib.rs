@@ -70,15 +70,15 @@ pub use hc_noise as noise;
 /// The most common imports, re-exported flat.
 pub mod prelude {
     pub use hc_core::{
-        enforce_nonnegativity, hierarchical_inference, isotonic_regression, mean_absolute_error,
-        sum_squared_error, weighted_hierarchical_inference, BatchInference, BudgetSplit,
-        BudgetedHierarchical, ConsistentTree, FlatUniversal, HierarchicalUniversal, LevelTree,
-        RoundedTree, Rounding, SortedRelease, TreeRelease, UnattributedHistogram,
+        effective_threads, enforce_nonnegativity, hierarchical_inference, isotonic_regression,
+        mean_absolute_error, sum_squared_error, weighted_hierarchical_inference, BatchInference,
+        BudgetSplit, BudgetedHierarchical, ConsistentTree, FlatUniversal, HierarchicalUniversal,
+        LevelTree, RoundedTree, Rounding, SortedRelease, TreeRelease, UnattributedHistogram,
     };
     pub use hc_data::{Domain, Graph, Histogram, Interval, Relation};
     pub use hc_mech::{
-        Epsilon, HierarchicalQuery, LaplaceMechanism, PrivacyBudget, QuerySequence, SortedQuery,
-        TreeShape, UnitQuery,
+        Epsilon, HierarchicalQuery, LaplaceMechanism, PreparedMechanism, PrivacyBudget,
+        QuerySequence, SortedQuery, TreeShape, UnitQuery,
     };
     pub use hc_noise::{rng_from_seed, Laplace, SeedStream};
 }

@@ -1,0 +1,103 @@
+//! The allocation-free pipeline contract, enforced with a counting
+//! allocator: after warm-up, `BatchInference::release_and_infer` /
+//! `release_and_infer_rounded` (and the experiment-loop building blocks
+//! they are made of) perform **zero** heap allocations per trial.
+//!
+//! The whole check lives in a single `#[test]` because the counter is
+//! process-global: the default test harness runs tests on multiple threads,
+//! and any concurrent test's allocations would show up in the delta.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use hist_consistency::prelude::*;
+
+/// Wraps the system allocator and counts every allocation call.
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+// SAFETY: delegates directly to `System`, which upholds the `GlobalAlloc`
+// contract; the counter is a relaxed atomic with no further invariants.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+/// Runs `body` and returns how many allocation calls it made.
+fn allocations_during(body: impl FnOnce()) -> usize {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    body();
+    ALLOCATIONS.load(Ordering::Relaxed) - before
+}
+
+#[test]
+fn release_and_infer_pipeline_is_allocation_free_after_warmup() {
+    // A power-of-two domain so the release needs no padding bookkeeping,
+    // large enough that any per-trial allocation would be unmistakable.
+    let n = 1usize << 12;
+    let counts: Vec<u64> = (0..n as u64).map(|i| i % 5).collect();
+    let histogram = Histogram::from_counts(Domain::new("x", n).expect("non-empty"), counts);
+    let shape = TreeShape::for_domain(n, 2);
+    let pipeline = HierarchicalUniversal::binary(Epsilon::new(0.5).expect("valid ε"));
+    let prepared = pipeline.prepare(n);
+    let mut engine = BatchInference::for_shape(&shape);
+    let mut out = Vec::new();
+    let mut rng = rng_from_seed(1);
+
+    // Warm-up: grow every scratch buffer to its high-water mark.
+    for _ in 0..2 {
+        engine.release_and_infer(&prepared, &histogram, &mut rng, &mut out);
+        engine.release_and_infer_rounded(&prepared, &histogram, &mut rng, &mut out);
+    }
+
+    let during_trials = allocations_during(|| {
+        for _ in 0..16 {
+            engine.release_and_infer(&prepared, &histogram, &mut rng, &mut out);
+            engine.release_and_infer_rounded(&prepared, &histogram, &mut rng, &mut out);
+        }
+    });
+    assert_eq!(
+        during_trials, 0,
+        "release_and_infer(_rounded) allocated after warm-up"
+    );
+    // The result is real: consistent-ish rounded values over the tree.
+    assert_eq!(out.len(), shape.nodes());
+    assert!(out.iter().all(|&v| v >= 0.0 && v.fract() == 0.0));
+
+    // The experiment-loop building blocks share the contract: re-release
+    // into warm buffers, inference + fused zero/round into a warm output.
+    let mut release = pipeline.empty_release(n);
+    let mut hbar = Vec::new();
+    pipeline.release_into(&histogram, &mut rng, &mut release);
+    release.infer_rounded_into(&mut engine, &mut hbar);
+    let during_loop_blocks = allocations_during(|| {
+        for _ in 0..8 {
+            pipeline.release_into(&histogram, &mut rng, &mut release);
+            release.infer_rounded_into(&mut engine, &mut hbar);
+        }
+    });
+    assert_eq!(
+        during_loop_blocks, 0,
+        "release_into + infer_rounded_into allocated after warm-up"
+    );
+}

@@ -189,6 +189,52 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, throughput: Option<Through
         None => String::new(),
     };
     println!("{label:<48} {:>12.3} µs/iter{rate}", per_iter * 1e6);
+    emit_json(label, per_iter, throughput);
+}
+
+/// Appends one JSON line per benchmark to the file named by the
+/// `BENCH_JSON` environment variable (no-op when unset) — the
+/// machine-readable record CI uploads as an artifact so the perf trajectory
+/// is tracked across PRs. Fields: the benchmark `label`, `ns_per_iter`, and
+/// (when a throughput was declared) `elements_per_iter` + `ns_per_element`.
+fn emit_json(label: &str, per_iter_secs: f64, throughput: Option<Throughput>) {
+    let Ok(path) = std::env::var("BENCH_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let ns_per_iter = per_iter_secs * 1e9;
+    // Labels are group/parameter identifiers; escape the two JSON-special
+    // characters they could conceivably contain.
+    let escaped: String = label
+        .chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c => vec![c],
+        })
+        .collect();
+    let line = match throughput {
+        Some(Throughput::Elements(n)) => format!(
+            "{{\"label\":\"{escaped}\",\"ns_per_iter\":{ns_per_iter:.1},\
+             \"elements_per_iter\":{n},\"ns_per_element\":{:.4}}}\n",
+            ns_per_iter / n as f64
+        ),
+        Some(Throughput::Bytes(n)) => format!(
+            "{{\"label\":\"{escaped}\",\"ns_per_iter\":{ns_per_iter:.1},\
+             \"bytes_per_iter\":{n}}}\n"
+        ),
+        None => format!("{{\"label\":\"{escaped}\",\"ns_per_iter\":{ns_per_iter:.1}}}\n"),
+    };
+    use std::io::Write;
+    if let Ok(mut file) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+    {
+        let _ = file.write_all(line.as_bytes());
+    }
 }
 
 /// Declares a group of benchmark functions (stand-in for criterion's macro).
