@@ -14,7 +14,7 @@ use hc_core::{
 use hc_data::{Domain, Histogram};
 use hc_linalg::{conjugate_gradient, CgOptions, CsrMatrix, Matrix};
 use hc_mech::{Epsilon, TreeShape};
-use hc_noise::{rng_from_seed, Laplace};
+use hc_noise::{rng_from_seed, Laplace, NoiseBackend, SeedStream};
 use std::hint::black_box;
 
 /// Heights compared head-to-head; 21 is the 2^20-leaf acceptance shape.
@@ -227,6 +227,67 @@ fn bench_pipeline_batched(c: &mut Criterion) {
     group.finish();
 }
 
+/// The Laplace-draw phase in isolation, per noise backend: the ISSUE-4
+/// acceptance criterion is `fast_ln` ≥ 2× faster than `reference` at the
+/// pipeline's 2^21-draw scale (one draw per node of the 2^20-leaf tree).
+fn bench_laplace_fill(c: &mut Criterion) {
+    let mut group = c.benchmark_group("laplace_fill");
+    let noise = Laplace::centered(210.0).expect("positive scale");
+    for &n in &[1usize << 17, (1 << 21) - 1] {
+        // −1 keeps the 2^21 case honest about the scalar tail.
+        let mut buf = vec![0.0f64; n];
+        for backend in [NoiseBackend::Reference, NoiseBackend::FastLn] {
+            let mut rng = rng_from_seed(31);
+            group.throughput(Throughput::Elements(n as u64));
+            group.bench_with_input(BenchmarkId::new(backend.name(), n + n % 2), &n, |b, _| {
+                b.iter(|| {
+                    noise.fill_with(backend, &mut rng, black_box(&mut buf));
+                    black_box(buf[0])
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+/// The full fused trial scaled across cores by `release_and_infer_batch_parallel`
+/// — per-trial time for a batch of 4, at the thread cap CI pins via
+/// `HC_THREADS`. Compare against `hier_pipeline_batched` (the same trial,
+/// serial) for the multi-core end-to-end speedup.
+fn bench_pipeline_batch_parallel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hier_pipeline_batch_parallel");
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    for &height in &[17usize, 21] {
+        let shape = TreeShape::new(2, height);
+        let n = shape.leaves();
+        let histogram = pipeline_histogram(n);
+        let pipeline = HierarchicalUniversal::binary(Epsilon::new(0.1).expect("valid ε"));
+        let prepared = pipeline.prepare(n);
+        let seeds = SeedStream::new(11);
+        let mut engine = BatchInference::for_shape(&shape);
+        let (mut noisy_batch, mut out_batch) = (Vec::new(), Vec::new());
+        group.throughput(Throughput::Elements((shape.nodes() * BATCH_TRIALS) as u64));
+        group.bench_with_input(BenchmarkId::new("k2", n), &histogram, |b, h| {
+            b.iter(|| {
+                engine.release_and_infer_batch_parallel(
+                    &prepared,
+                    h,
+                    seeds,
+                    BATCH_TRIALS,
+                    true,
+                    threads,
+                    Some(&mut noisy_batch),
+                    &mut out_batch,
+                );
+                black_box(out_batch[0])
+            });
+        });
+    }
+    group.finish();
+}
+
 fn bench_sparse_cg(c: &mut Criterion) {
     let mut group = c.benchmark_group("hier_infer_sparse_cg");
     group.sample_size(10);
@@ -280,8 +341,10 @@ criterion_group!(
     bench_engine_single,
     bench_engine_batch,
     bench_engine_parallel,
+    bench_laplace_fill,
     bench_pipeline_pr2_path,
     bench_pipeline_batched,
+    bench_pipeline_batch_parallel,
     bench_sparse_cg,
     bench_dense_ols
 );

@@ -1,0 +1,353 @@
+//! `bench_diff` — the CI perf-regression gate over `BENCH_*.json` records.
+//!
+//! The vendored criterion harness appends one JSON line per benchmark
+//! (`{"label": ..., "ns_per_iter": ..., ...}`) to the file named by
+//! `BENCH_JSON`; CI uploads that record as an artifact. This tool compares a
+//! fresh record against a baseline record label by label, prints the
+//! comparison as a table, and exits non-zero when any shared label's
+//! `ns_per_iter` regressed by more than the threshold (default 10%) — so a
+//! perf regression fails the job instead of scrolling by.
+//!
+//! ```text
+//! bench_diff BASELINE.json CURRENT.json [--max-regress PCT]
+//! ```
+//!
+//! Labels present in only one record are listed but never fail the gate
+//! (benchmarks are added and retired as the suite evolves); improvements
+//! never fail. Records are expected to come from the *same class of runner*
+//! at the same `HC_THREADS` — cross-machine ns are not comparable.
+
+use std::process::ExitCode;
+
+use hc_bench::table::Table;
+
+/// Default regression threshold, percent.
+const DEFAULT_MAX_REGRESS: f64 = 10.0;
+
+/// One benchmark's timing, keyed by its criterion label.
+#[derive(Debug, Clone, PartialEq)]
+struct Entry {
+    label: String,
+    ns_per_iter: f64,
+}
+
+/// The text after `"key":` (any whitespace around the colon skipped) in one
+/// JSON line. The records are machine-written by the vendored criterion, so
+/// a targeted scan beats pulling in a JSON crate; tolerating optional
+/// whitespace keeps hand-edited or pretty-printed baselines comparable.
+fn json_field_value<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\"");
+    let after_key = &line[line.find(&needle)? + needle.len()..];
+    let after_key = after_key.trim_start();
+    after_key.strip_prefix(':').map(str::trim_start)
+}
+
+/// Extracts the string value of `"key":"..."` from one JSON line (labels
+/// escape only `"` and `\`).
+fn json_string_field(line: &str, key: &str) -> Option<String> {
+    let rest = json_field_value(line, key)?.strip_prefix('"')?;
+    let mut value = String::new();
+    let mut chars = rest.chars();
+    while let Some(c) = chars.next() {
+        match c {
+            '\\' => value.push(chars.next()?),
+            '"' => return Some(value),
+            c => value.push(c),
+        }
+    }
+    None
+}
+
+/// Extracts the numeric value of `"key":123.4` from one JSON line.
+fn json_number_field(line: &str, key: &str) -> Option<f64> {
+    let rest = json_field_value(line, key)?;
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+' || c == 'e'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Parses a whole record (one JSON object per line; blank lines skipped).
+/// Later duplicates of a label win, matching "the record is appended to".
+fn parse_record(text: &str) -> Vec<Entry> {
+    let mut entries: Vec<Entry> = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (Some(label), Some(ns_per_iter)) = (
+            json_string_field(line, "label"),
+            json_number_field(line, "ns_per_iter"),
+        ) else {
+            continue;
+        };
+        if let Some(existing) = entries.iter_mut().find(|e| e.label == label) {
+            existing.ns_per_iter = ns_per_iter;
+        } else {
+            entries.push(Entry { label, ns_per_iter });
+        }
+    }
+    entries
+}
+
+/// The comparison of one shared label.
+#[derive(Debug, Clone)]
+struct Comparison {
+    label: String,
+    baseline_ns: f64,
+    current_ns: f64,
+    /// Positive = slower than baseline, in percent.
+    delta_pct: f64,
+    regressed: bool,
+}
+
+/// Everything the gate decides, separated from I/O so the unit tests can
+/// exercise it directly (including the synthetic->regression negative test).
+#[derive(Debug, Clone)]
+struct Report {
+    comparisons: Vec<Comparison>,
+    only_in_baseline: Vec<String>,
+    only_in_current: Vec<String>,
+    max_regress_pct: f64,
+}
+
+impl Report {
+    fn build(baseline: &[Entry], current: &[Entry], max_regress_pct: f64) -> Self {
+        let mut comparisons = Vec::new();
+        let mut only_in_baseline = Vec::new();
+        for b in baseline {
+            match current.iter().find(|c| c.label == b.label) {
+                Some(c) => {
+                    let delta_pct = (c.ns_per_iter - b.ns_per_iter) / b.ns_per_iter * 100.0;
+                    comparisons.push(Comparison {
+                        label: b.label.clone(),
+                        baseline_ns: b.ns_per_iter,
+                        current_ns: c.ns_per_iter,
+                        delta_pct,
+                        regressed: delta_pct > max_regress_pct,
+                    });
+                }
+                None => only_in_baseline.push(b.label.clone()),
+            }
+        }
+        let only_in_current = current
+            .iter()
+            .filter(|c| baseline.iter().all(|b| b.label != c.label))
+            .map(|c| c.label.clone())
+            .collect();
+        Self {
+            comparisons,
+            only_in_baseline,
+            only_in_current,
+            max_regress_pct,
+        }
+    }
+
+    fn regressions(&self) -> impl Iterator<Item = &Comparison> {
+        self.comparisons.iter().filter(|c| c.regressed)
+    }
+
+    fn passed(&self) -> bool {
+        self.regressions().next().is_none()
+    }
+
+    fn render(&self) -> String {
+        let mut t = Table::new(
+            format!(
+                "bench_diff: ns/iter vs baseline (gate: >{:.0}% slower fails)",
+                self.max_regress_pct
+            ),
+            &["label", "baseline ns", "current ns", "delta", "gate"],
+        );
+        for c in &self.comparisons {
+            t.row(vec![
+                c.label.clone(),
+                format!("{:.1}", c.baseline_ns),
+                format!("{:.1}", c.current_ns),
+                format!("{:+.1}%", c.delta_pct),
+                if c.regressed { "REGRESSED" } else { "ok" }.to_string(),
+            ]);
+        }
+        let mut out = t.render();
+        for label in &self.only_in_baseline {
+            out.push_str(&format!("note: `{label}` only in baseline (retired?)\n"));
+        }
+        for label in &self.only_in_current {
+            out.push_str(&format!("note: `{label}` only in current (new)\n"));
+        }
+        let regressed: Vec<&str> = self.regressions().map(|c| c.label.as_str()).collect();
+        if regressed.is_empty() {
+            out.push_str(&format!(
+                "PASS: {} labels compared, none slower than the {:.0}% gate\n",
+                self.comparisons.len(),
+                self.max_regress_pct
+            ));
+        } else {
+            out.push_str(&format!(
+                "FAIL: {} label(s) regressed past {:.0}%: {}\n",
+                regressed.len(),
+                self.max_regress_pct,
+                regressed.join(", ")
+            ));
+        }
+        out
+    }
+}
+
+fn usage() -> ! {
+    eprintln!("usage: bench_diff BASELINE.json CURRENT.json [--max-regress PCT]");
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut baseline_path = None;
+    let mut current_path = None;
+    let mut max_regress = DEFAULT_MAX_REGRESS;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--max-regress" => {
+                max_regress = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--help" | "-h" => usage(),
+            _ if baseline_path.is_none() => baseline_path = Some(arg),
+            _ if current_path.is_none() => current_path = Some(arg),
+            _ => usage(),
+        }
+    }
+    let (Some(baseline_path), Some(current_path)) = (baseline_path, current_path) else {
+        usage();
+    };
+    let read = |path: &str| {
+        std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("bench_diff: cannot read {path}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let baseline = parse_record(&read(&baseline_path));
+    let current = parse_record(&read(&current_path));
+    if baseline.is_empty() {
+        eprintln!("bench_diff: baseline {baseline_path} has no benchmark lines");
+        return ExitCode::from(2);
+    }
+    let report = Report::build(&baseline, &current, max_regress);
+    print!("{}", report.render());
+    if report.passed() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASELINE: &str = concat!(
+        "{\"label\":\"a/1024\",\"ns_per_iter\":1000.0,\"elements_per_iter\":2047}\n",
+        "{\"label\":\"b/2048\",\"ns_per_iter\":500.0}\n",
+        "{\"label\":\"retired\",\"ns_per_iter\":7.5}\n",
+    );
+
+    #[test]
+    fn parses_labels_and_timings() {
+        let entries = parse_record(BASELINE);
+        assert_eq!(entries.len(), 3);
+        assert_eq!(entries[0].label, "a/1024");
+        assert_eq!(entries[0].ns_per_iter, 1000.0);
+        assert_eq!(entries[2].ns_per_iter, 7.5);
+    }
+
+    #[test]
+    fn later_duplicate_lines_win() {
+        let entries = parse_record(
+            "{\"label\":\"x\",\"ns_per_iter\":1.0}\n{\"label\":\"x\",\"ns_per_iter\":2.0}\n",
+        );
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].ns_per_iter, 2.0);
+    }
+
+    #[test]
+    fn escaped_label_characters_round_trip() {
+        let entries = parse_record("{\"label\":\"q\\\"uo\\\\te\",\"ns_per_iter\":3.0}\n");
+        assert_eq!(entries[0].label, "q\"uo\\te");
+    }
+
+    #[test]
+    fn malformed_lines_are_skipped() {
+        let entries = parse_record("not json\n{\"label\":\"ok\",\"ns_per_iter\":1.0}\n{}\n");
+        assert_eq!(entries.len(), 1);
+    }
+
+    #[test]
+    fn whitespace_around_colons_is_tolerated() {
+        // Hand-edited / pretty-printed baselines still compare.
+        let entries = parse_record("{\"label\": \"x/1\", \"ns_per_iter\": 42.5}\n");
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].label, "x/1");
+        assert_eq!(entries[0].ns_per_iter, 42.5);
+    }
+
+    #[test]
+    fn within_threshold_passes() {
+        // +9.9% on one label, an improvement on the other: the 10% gate holds.
+        let current = "{\"label\":\"a/1024\",\"ns_per_iter\":1099.0}\n\
+                       {\"label\":\"b/2048\",\"ns_per_iter\":400.0}\n";
+        let report = Report::build(
+            &parse_record(BASELINE),
+            &parse_record(current),
+            DEFAULT_MAX_REGRESS,
+        );
+        assert!(report.passed());
+        assert!(report.render().contains("PASS"));
+        // The retired label is reported but does not fail the gate.
+        assert_eq!(report.only_in_baseline, vec!["retired".to_string()]);
+    }
+
+    #[test]
+    fn synthetic_regression_fails_the_gate() {
+        // The negative test the CI gate relies on: a synthetic +25% on one
+        // label must flip the exit decision and name the offender.
+        let current = "{\"label\":\"a/1024\",\"ns_per_iter\":1250.0}\n\
+                       {\"label\":\"b/2048\",\"ns_per_iter\":500.0}\n\
+                       {\"label\":\"retired\",\"ns_per_iter\":7.5}\n";
+        let report = Report::build(
+            &parse_record(BASELINE),
+            &parse_record(current),
+            DEFAULT_MAX_REGRESS,
+        );
+        assert!(!report.passed());
+        let regressed: Vec<&str> = report.regressions().map(|c| c.label.as_str()).collect();
+        assert_eq!(regressed, vec!["a/1024"]);
+        let rendered = report.render();
+        assert!(rendered.contains("FAIL"));
+        assert!(rendered.contains("REGRESSED"));
+        assert!(rendered.contains("+25.0%"));
+    }
+
+    #[test]
+    fn threshold_is_configurable() {
+        let current = "{\"label\":\"a/1024\",\"ns_per_iter\":1150.0}\n";
+        let baseline = parse_record(BASELINE);
+        let current = parse_record(current);
+        assert!(!Report::build(&baseline, &current, 10.0).passed());
+        assert!(Report::build(&baseline, &current, 20.0).passed());
+    }
+
+    #[test]
+    fn new_labels_never_fail() {
+        let current = "{\"label\":\"brand_new\",\"ns_per_iter\":9.0}\n\
+                       {\"label\":\"a/1024\",\"ns_per_iter\":1000.0}\n";
+        let report = Report::build(
+            &parse_record(BASELINE),
+            &parse_record(current),
+            DEFAULT_MAX_REGRESS,
+        );
+        assert!(report.passed());
+        assert_eq!(report.only_in_current, vec!["brand_new".to_string()]);
+    }
+}

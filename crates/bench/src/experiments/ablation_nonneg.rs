@@ -39,64 +39,85 @@ pub fn compute(cfg: RunConfig) -> Vec<NonNegPoint> {
         .collect();
     let queries = if cfg.quick { 100 } else { 1000 };
 
-    // Per-worker reusable state: the raw inference runs once per trial and
-    // the ablated variant is derived from it in place (the zeroing +
-    // rounding sweep over a copy), so no trial allocates after warm-up.
+    // The tree pipeline (release + raw Theorem-3 inference) runs through the
+    // engine's trial-parallel batch in fixed waves; each wave is then scored
+    // by a second trial-parallel pass whose workers derive the ablated
+    // variant (zeroing + rounding over a copy of the raw inference), release
+    // L̃, and sample ranges. Worker state is reused within a wave (nothing
+    // allocates per *trial*); each wave spins up fresh workers, so the
+    // per-worker buffers are re-grown once per wave — bounded by
+    // waves × workers, negligible against the per-trial query work.
+    let shape = TreeShape::for_domain(n, 2);
+    let nodes = shape.nodes();
+    let prepared = tree_pipeline.prepare(n);
+    let mut pipeline_engine = BatchInference::for_shape(&shape);
+    let noise_seeds = seeds.substream(2);
+    let aux_seeds = seeds.substream(1);
+    let mut raw_batch = Vec::new();
+    let eps_flat = eps;
     struct TrialState {
-        engine: BatchInference,
         flat: FlatRelease,
-        tree: hc_core::TreeRelease,
-        raw: Vec<f64>,
         raw_prefix: Vec<f64>,
         nonneg: Vec<f64>,
         decomp: Vec<usize>,
     }
-    let shape = TreeShape::for_domain(n, 2);
-    let eps_flat = eps;
-    let per_trial = crate::runner::run_trials_with(
-        cfg.trials,
-        seeds.substream(1),
-        || TrialState {
-            engine: BatchInference::for_shape(&shape),
-            flat: FlatRelease::from_noisy(eps_flat, vec![0.0; n]),
-            tree: tree_pipeline.empty_release(n),
-            raw: Vec::new(),
-            raw_prefix: Vec::new(),
-            nonneg: Vec::new(),
-            decomp: Vec::new(),
-        },
-        |_t, mut rng, st| {
-            flat_pipeline.release_into(&histogram, &mut rng, &mut st.flat);
-            tree_pipeline.release_into(&histogram, &mut rng, &mut st.tree);
-            st.tree.infer_into(&mut st.engine, &mut st.raw);
-            // Leaf prefix sums reproduce ConsistentTree::range_query exactly.
-            super::leaf_prefix_into(st.tree.shape(), &st.raw, &mut st.raw_prefix);
-            st.nonneg.clone_from(&st.raw);
-            st.engine.tree().zero_round_in_place(&mut st.nonneg);
-            sizes
-                .iter()
-                .map(|&size| {
-                    let workload = RangeWorkload::new(n, size);
-                    let (mut fe, mut re, mut ne) = (0.0, 0.0, 0.0);
-                    for _ in 0..queries {
-                        let q = workload.sample(&mut rng);
-                        let truth = histogram.range_count(q) as f64;
-                        fe +=
-                            (st.flat.range_query(q, Rounding::NonNegativeInteger) - truth).powi(2);
-                        let raw_answer = super::prefix_range_sum(&st.raw_prefix, q);
-                        re += (raw_answer - truth).powi(2);
-                        st.tree
-                            .shape()
-                            .subtree_decomposition_into(q, &mut st.decomp);
-                        let nn_answer = super::decomposition_sum(&st.nonneg, &st.decomp);
-                        ne += (nn_answer - truth).powi(2);
-                    }
-                    let scale = queries as f64;
-                    (fe / scale, re / scale, ne / scale)
-                })
-                .collect::<Vec<(f64, f64, f64)>>()
-        },
-    );
+    let mut per_trial: Vec<Vec<(f64, f64, f64)>> = Vec::with_capacity(cfg.trials);
+    super::for_each_wave(cfg.trials, super::fig6::PIPELINE_WAVE, |start, wave| {
+        pipeline_engine.release_and_infer_batch_parallel(
+            &prepared,
+            &histogram,
+            noise_seeds.substream(start as u64),
+            wave,
+            false, // raw Theorem 3: the ablation applies the zeroing itself
+            super::fig6::pipeline_threads(),
+            None, // the ablation never reads the noisy release
+            &mut raw_batch,
+        );
+        let raw_batch = &raw_batch;
+        // The engine's own compiled tables drive the workers' zero/round
+        // sweep — no shadow LevelTree to drift from them.
+        let tree = pipeline_engine.tree();
+        per_trial.extend(crate::runner::run_trials_with(
+            wave,
+            aux_seeds.substream(start as u64),
+            || TrialState {
+                flat: FlatRelease::from_noisy(eps_flat, vec![0.0; n]),
+                raw_prefix: Vec::new(),
+                nonneg: Vec::new(),
+                decomp: Vec::new(),
+            },
+            |t, mut rng, st| {
+                let raw = &raw_batch[t * nodes..(t + 1) * nodes];
+                flat_pipeline.release_into(&histogram, &mut rng, &mut st.flat);
+                // Leaf prefix sums reproduce ConsistentTree::range_query
+                // exactly.
+                super::leaf_prefix_into(&shape, raw, &mut st.raw_prefix);
+                st.nonneg.clear();
+                st.nonneg.extend_from_slice(raw);
+                tree.zero_round_in_place(&mut st.nonneg);
+                sizes
+                    .iter()
+                    .map(|&size| {
+                        let workload = RangeWorkload::new(n, size);
+                        let (mut fe, mut re, mut ne) = (0.0, 0.0, 0.0);
+                        for _ in 0..queries {
+                            let q = workload.sample(&mut rng);
+                            let truth = histogram.range_count(q) as f64;
+                            fe += (st.flat.range_query(q, Rounding::NonNegativeInteger) - truth)
+                                .powi(2);
+                            let raw_answer = super::prefix_range_sum(&st.raw_prefix, q);
+                            re += (raw_answer - truth).powi(2);
+                            shape.subtree_decomposition_into(q, &mut st.decomp);
+                            let nn_answer = super::decomposition_sum(&st.nonneg, &st.decomp);
+                            ne += (nn_answer - truth).powi(2);
+                        }
+                        let scale = queries as f64;
+                        (fe / scale, re / scale, ne / scale)
+                    })
+                    .collect::<Vec<(f64, f64, f64)>>()
+            },
+        ));
+    });
 
     sizes
         .iter()

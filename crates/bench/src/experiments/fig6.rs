@@ -7,6 +7,20 @@ use hc_mech::{Epsilon, TreeShape};
 use hc_noise::SeedStream;
 use rand::Rng;
 
+/// Trials per batch wave of the fused release→inference pipeline: bounds the
+/// resident (noisy, inferred) batch to `2 · WAVE · nodes` doubles while
+/// keeping every worker fed. A fixed constant — never derived from the
+/// machine — so results are identical for any core count or `HC_THREADS`.
+pub(crate) const PIPELINE_WAVE: usize = 16;
+
+/// Worker cap handed to the batch pipeline (the `HC_THREADS` override
+/// applies on top, inside `release_and_infer_batch_parallel`).
+pub(crate) fn pipeline_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
 use crate::datasets::{build, epsilon_grid, DatasetId};
 use crate::stats::mean;
 use crate::table::{sci, Table};
@@ -57,62 +71,81 @@ pub fn compute_curve(
     let tree_pipeline = HierarchicalUniversal::binary(eps);
     let queries_per_size = ranges_per_size(cfg);
 
-    // Each trial returns, per size, the (flat, subtree, inferred) sums of
-    // squared errors over its random ranges. Workers carry one reusable
-    // state each — engine scratch, both releases, the inferred vector, and a
-    // decomposition buffer — so after the first trial the whole
-    // release→inference pipeline allocates nothing.
+    // The tree half of every trial — evaluate H, add Laplace noise, both
+    // Theorem-3 passes, Sec. 4.2 zeroing + rounding — runs through the
+    // engine's trial-parallel batch pipeline in fixed-size waves: one fused
+    // pass per trial produces the noisy release (H̃'s input) and the
+    // zeroed/rounded inferred tree (H̄'s) side by side. Each wave's batches
+    // are then scored by a second trial-parallel pass that releases L̃ and
+    // samples the random ranges (its own seed substream — noise and query
+    // randomness are decoupled). Workers carry one reusable state each:
+    // nothing allocates per *trial*; the per-worker buffers are re-grown
+    // once per wave (waves × workers total), negligible against the
+    // thousands of range queries each trial answers.
+    let prepared = tree_pipeline.prepare(n);
+    let mut pipeline_engine = BatchInference::for_shape(&shape);
+    let nodes = shape.nodes();
+    let noise_seeds = seeds.substream(2);
+    let aux_seeds = seeds.substream(1);
+    let (mut noisy_batch, mut hbar_batch) = (Vec::new(), Vec::new());
     struct TrialState {
-        engine: BatchInference,
         flat: FlatRelease,
-        tree: hc_core::TreeRelease,
-        hbar: Vec<f64>,
         decomp: Vec<usize>,
     }
-    let per_trial = crate::runner::run_trials_with(
-        cfg.trials,
-        seeds.substream(1),
-        || TrialState {
-            engine: BatchInference::for_shape(&shape),
-            flat: FlatRelease::from_noisy(eps, vec![0.0; n]),
-            tree: tree_pipeline.empty_release(n),
-            hbar: Vec::new(),
-            decomp: Vec::new(),
-        },
-        |_t, mut rng, st| {
-            flat_pipeline.release_into(&histogram, &mut rng, &mut st.flat);
-            tree_pipeline.release_into(&histogram, &mut rng, &mut st.tree);
-            st.tree.infer_rounded_into(&mut st.engine, &mut st.hbar);
-            let mut sums = Vec::with_capacity(sizes.len());
-            for &size in &sizes {
-                let workload = RangeWorkload::new(n, size);
-                let (mut fe, mut se, mut ie) = (0.0, 0.0, 0.0);
-                for _ in 0..queries_per_size {
-                    let q = workload.sample(&mut rng);
-                    let truth = histogram.range_count(q) as f64;
-                    let f = st.flat.range_query(q, Rounding::NonNegativeInteger);
-                    // One decomposition serves both tree estimators: H̃ sums
-                    // the rounded noisy nodes, H̄ the zeroed/rounded inferred
-                    // nodes — same node set, same summation order as the
-                    // per-estimator query paths.
-                    st.tree
-                        .shape()
-                        .subtree_decomposition_into(q, &mut st.decomp);
-                    let mut s = 0.0;
-                    for &v in &st.decomp {
-                        s += Rounding::NonNegativeInteger.apply(st.tree.noisy_values()[v]);
+    let mut per_trial: Vec<Vec<(f64, f64, f64)>> = Vec::with_capacity(cfg.trials);
+    super::for_each_wave(cfg.trials, PIPELINE_WAVE, |start, wave| {
+        pipeline_engine.release_and_infer_batch_parallel(
+            &prepared,
+            &histogram,
+            noise_seeds.substream(start as u64),
+            wave,
+            true,
+            pipeline_threads(),
+            Some(&mut noisy_batch),
+            &mut hbar_batch,
+        );
+        let noisy_batch = &noisy_batch;
+        let hbar_batch = &hbar_batch;
+        per_trial.extend(crate::runner::run_trials_with(
+            wave,
+            aux_seeds.substream(start as u64),
+            || TrialState {
+                flat: FlatRelease::from_noisy(eps, vec![0.0; n]),
+                decomp: Vec::new(),
+            },
+            |t, mut rng, st| {
+                let noisy = &noisy_batch[t * nodes..(t + 1) * nodes];
+                let hbar = &hbar_batch[t * nodes..(t + 1) * nodes];
+                flat_pipeline.release_into(&histogram, &mut rng, &mut st.flat);
+                let mut sums = Vec::with_capacity(sizes.len());
+                for &size in &sizes {
+                    let workload = RangeWorkload::new(n, size);
+                    let (mut fe, mut se, mut ie) = (0.0, 0.0, 0.0);
+                    for _ in 0..queries_per_size {
+                        let q = workload.sample(&mut rng);
+                        let truth = histogram.range_count(q) as f64;
+                        let f = st.flat.range_query(q, Rounding::NonNegativeInteger);
+                        // One decomposition serves both tree estimators: H̃
+                        // sums the rounded noisy nodes, H̄ the zeroed/rounded
+                        // inferred nodes — same node set, same summation
+                        // order as the per-estimator query paths.
+                        shape.subtree_decomposition_into(q, &mut st.decomp);
+                        let mut s = 0.0;
+                        for &v in &st.decomp {
+                            s += Rounding::NonNegativeInteger.apply(noisy[v]);
+                        }
+                        let i = super::decomposition_sum(hbar, &st.decomp);
+                        fe += (f - truth) * (f - truth);
+                        se += (s - truth) * (s - truth);
+                        ie += (i - truth) * (i - truth);
                     }
-                    let i = super::decomposition_sum(&st.hbar, &st.decomp);
-                    fe += (f - truth) * (f - truth);
-                    se += (s - truth) * (s - truth);
-                    ie += (i - truth) * (i - truth);
+                    let scale = queries_per_size as f64;
+                    sums.push((fe / scale, se / scale, ie / scale));
                 }
-                let scale = queries_per_size as f64;
-                sums.push((fe / scale, se / scale, ie / scale));
-            }
-            sums
-        },
-    );
+                sums
+            },
+        ));
+    });
 
     sizes
         .iter()

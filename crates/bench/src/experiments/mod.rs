@@ -37,6 +37,21 @@ pub(crate) fn decomposition_sum(values: &[f64], decomposition: &[usize]) -> f64 
     total
 }
 
+/// Drives `trials` in fixed-size waves: `body(start, wave)` runs once per
+/// wave with the global index of its first trial and its length. One
+/// implementation of the start/min/advance bookkeeping shared by every
+/// experiment loop built on `release_and_infer_batch_parallel`, so wave
+/// boundaries (which feed the per-wave seed substreams) cannot drift apart
+/// between experiments.
+pub(crate) fn for_each_wave(trials: usize, wave_size: usize, mut body: impl FnMut(usize, usize)) {
+    let mut start = 0usize;
+    while start < trials {
+        let wave = wave_size.min(trials - start);
+        body(start, wave);
+        start += wave;
+    }
+}
+
 pub mod ablation_branching;
 pub mod ablation_budget;
 pub mod ablation_geometric;

@@ -43,43 +43,42 @@ pub fn compute_at_height(cfg: RunConfig, height: usize) -> Thm4Outcome {
 
     let seeds = SeedStream::new(cfg.seed);
     let trials = cfg.trials.max(if cfg.quick { 30 } else { 200 });
-    // Per-worker reusable release/inference buffers (see fig6).
-    struct TrialState {
-        engine: BatchInference,
-        release: hc_core::TreeRelease,
-        hbar: Vec<f64>,
-        prefix: Vec<f64>,
-        decomp: Vec<usize>,
-    }
-    let outcomes = crate::runner::run_trials_with(
-        trials,
-        seeds,
-        || TrialState {
-            engine: BatchInference::for_shape(&shape),
-            release: pipeline.empty_release(n),
-            hbar: Vec::new(),
-            prefix: Vec::new(),
-            decomp: Vec::new(),
-        },
-        |_t, mut rng, st| {
-            pipeline.release_into(&histogram, &mut rng, &mut st.release);
-            // No rounding: Theorem 4 is about the linear estimators themselves.
-            st.release
-                .shape()
-                .subtree_decomposition_into(q, &mut st.decomp);
-            let subtree = super::decomposition_sum(st.release.noisy_values(), &st.decomp);
-            st.release.infer_into(&mut st.engine, &mut st.hbar);
+    // The whole release→inference pipeline runs trial-parallel through the
+    // engine batch in fixed waves (no rounding: Theorem 4 is about the
+    // linear estimators themselves); scoring each trial is two range sums,
+    // done inline over the wave's batch slices.
+    let prepared = pipeline.prepare(n);
+    let mut engine = BatchInference::for_shape(&shape);
+    let nodes = shape.nodes();
+    let (mut noisy_batch, mut hbar_batch) = (Vec::new(), Vec::new());
+    // One fixed query ⇒ one decomposition, shared by every trial.
+    let mut decomp = Vec::new();
+    shape.subtree_decomposition_into(q, &mut decomp);
+    let mut prefix = Vec::new();
+    let mut subtree = Vec::with_capacity(trials);
+    let mut inferred = Vec::with_capacity(trials);
+    super::for_each_wave(trials, super::fig6::PIPELINE_WAVE, |start, wave| {
+        engine.release_and_infer_batch_parallel(
+            &prepared,
+            &histogram,
+            seeds.substream(start as u64),
+            wave,
+            false,
+            super::fig6::pipeline_threads(),
+            Some(&mut noisy_batch),
+            &mut hbar_batch,
+        );
+        for t in 0..wave {
+            let noisy = &noisy_batch[t * nodes..(t + 1) * nodes];
+            let hbar = &hbar_batch[t * nodes..(t + 1) * nodes];
+            let s = super::decomposition_sum(noisy, &decomp);
             // Leaf prefix sums reproduce ConsistentTree::range_query exactly.
-            super::leaf_prefix_into(st.release.shape(), &st.hbar, &mut st.prefix);
-            let inferred = super::prefix_range_sum(&st.prefix, q);
-            (
-                (subtree - truth) * (subtree - truth),
-                (inferred - truth) * (inferred - truth),
-            )
-        },
-    );
-    let subtree: Vec<f64> = outcomes.iter().map(|o| o.0).collect();
-    let inferred: Vec<f64> = outcomes.iter().map(|o| o.1).collect();
+            super::leaf_prefix_into(&shape, hbar, &mut prefix);
+            let i = super::prefix_range_sum(&prefix, q);
+            subtree.push((s - truth) * (s - truth));
+            inferred.push((i - truth) * (i - truth));
+        }
+    });
 
     Thm4Outcome {
         height,

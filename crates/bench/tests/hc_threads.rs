@@ -1,0 +1,66 @@
+//! End-to-end `HC_THREADS` determinism: the experiment binaries whose trial
+//! loops run through `release_and_infer_batch_parallel` (fig6, thm4_factor —
+//! plus `run_trials_with` for their scoring passes) must emit byte-identical
+//! reports for `HC_THREADS` ∈ {1, 2, unset}. This is the environment-variable
+//! half of the serial≡parallel contract; the in-process half (explicit
+//! thread counts) lives in `tests/noise_backends.rs` and the engine's unit
+//! tests. Spawning real processes is the only race-free way to vary an
+//! environment variable under the multithreaded test harness.
+
+use std::process::Command;
+
+/// Runs one experiment binary with the given `HC_THREADS` setting (None =
+/// unset) and returns its stdout.
+fn run(bin: &str, args: &[&str], hc_threads: Option<&str>) -> String {
+    let mut cmd = Command::new(bin);
+    cmd.args(args);
+    cmd.env_remove("HC_THREADS");
+    if let Some(v) = hc_threads {
+        cmd.env("HC_THREADS", v);
+    }
+    let out = cmd
+        .output()
+        .unwrap_or_else(|e| panic!("spawning {bin}: {e}"));
+    assert!(
+        out.status.success(),
+        "{bin} failed under HC_THREADS={hc_threads:?}: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("reports are UTF-8")
+}
+
+fn assert_thread_count_invariant(bin: &str, args: &[&str]) {
+    let unset = run(bin, args, None);
+    assert!(!unset.trim().is_empty(), "{bin} produced no output");
+    for threads in ["1", "2"] {
+        let pinned = run(bin, args, Some(threads));
+        assert_eq!(
+            pinned, unset,
+            "{bin} output changed under HC_THREADS={threads}"
+        );
+    }
+}
+
+#[test]
+fn fig6_is_bit_identical_across_hc_threads() {
+    assert_thread_count_invariant(
+        env!("CARGO_BIN_EXE_fig6"),
+        &["--quick", "--trials", "3", "--seed", "7"],
+    );
+}
+
+#[test]
+fn thm4_factor_is_bit_identical_across_hc_threads() {
+    assert_thread_count_invariant(
+        env!("CARGO_BIN_EXE_thm4_factor"),
+        &["--quick", "--trials", "3", "--seed", "7"],
+    );
+}
+
+#[test]
+fn ablation_nonneg_is_bit_identical_across_hc_threads() {
+    assert_thread_count_invariant(
+        env!("CARGO_BIN_EXE_ablation_nonneg"),
+        &["--quick", "--trials", "3", "--seed", "7"],
+    );
+}

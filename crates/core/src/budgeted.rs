@@ -70,6 +70,7 @@ pub struct BudgetedHierarchical {
     epsilon: Epsilon,
     branching: usize,
     split: BudgetSplit,
+    backend: hc_noise::NoiseBackend,
 }
 
 impl BudgetedHierarchical {
@@ -85,7 +86,19 @@ impl BudgetedHierarchical {
             epsilon,
             branching,
             split,
+            backend: hc_noise::NoiseBackend::Reference,
         }
+    }
+
+    /// The same pipeline sampling through `backend` (see
+    /// [`hc_noise::NoiseBackend`]; the per-level draw order is unchanged).
+    pub fn with_backend(self, backend: hc_noise::NoiseBackend) -> Self {
+        Self { backend, ..self }
+    }
+
+    /// The configured sampling backend.
+    pub fn backend(&self) -> hc_noise::NoiseBackend {
+        self.backend
     }
 
     /// The total ε (what sequential composition certifies).
@@ -134,7 +147,7 @@ impl BudgetedHierarchical {
             // each level's scale really does differ, so this is the hoisted
             // form (the per-node construction would be height× the work).
             let noise = Laplace::centered(1.0 / eps_d).expect("positive scale");
-            noise.add_noise(rng, &mut out.noisy[shape.level(depth)]);
+            noise.add_noise_with(self.backend, rng, &mut out.noisy[shape.level(depth)]);
         }
         out.shape = shape;
         out.domain_size = histogram.len();

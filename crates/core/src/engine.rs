@@ -33,10 +33,15 @@
 //!   as the oracle), exploiting the invariant that after the sweep a node is
 //!   zeroed iff its value is `0.0`;
 //! * [`BatchInference::release_and_infer`] runs a whole trial — evaluate the
-//!   query, add Laplace noise, both Theorem-3 passes, optional zeroing and
+//!   query, add Laplace noise through the preparation's
+//!   [`hc_noise::NoiseBackend`], both Theorem-3 passes, optional zeroing and
 //!   rounding — through caller/engine-owned scratch with **zero heap
 //!   allocations after warm-up** (`tests/alloc_free.rs` pins this with a
 //!   counting allocator);
+//! * [`BatchInference::release_and_infer_batch_parallel`] scales that full
+//!   trial across scoped-thread workers, split by trial with per-worker
+//!   scratch and per-trial [`SeedStream`] seeding — bit-identical to the
+//!   serial batch for any thread count, per backend;
 //! * [`LevelTree::infer_parallel`] splits the tree at a depth with enough
 //!   subtrees to feed every worker (≥ 4 chunks per thread when the shape
 //!   allows), and workers claim subtrees from an atomic work queue — k = 2
@@ -53,7 +58,7 @@ use std::sync::Mutex;
 
 use hc_data::Histogram;
 use hc_mech::{PreparedMechanism, QuerySequence, TreeShape};
-use hc_noise::Laplace;
+use hc_noise::{Laplace, NoiseBackend, SeedStream};
 use rand::Rng;
 
 /// Leaves per vertical slab in the tiled sweeps. A binary slab of 8192
@@ -550,26 +555,86 @@ impl LevelTree {
     ///
     /// Draw order is the BFS index order — internal prefix first, then the
     /// leaf slabs left to right — exactly the order
-    /// [`hc_noise::Laplace::add_noise`] uses over the whole vector, so the
-    /// release is bit-identical to the unfused path.
+    /// [`hc_noise::Laplace::add_noise`] uses over the whole vector, and
+    /// backends consume one uniform per sample with length-independent bits,
+    /// so the release is bit-identical to the unfused path *per backend*.
     fn noised_upward<R: Rng + ?Sized>(
         &self,
         laplace: &Laplace,
+        backend: NoiseBackend,
         rng: &mut R,
         values: &mut [f64],
         z: &mut [f64],
     ) {
         let first_leaf = self.shape.first_leaf();
-        laplace.add_noise(rng, &mut values[..first_leaf]);
+        laplace.add_noise_with(backend, rng, &mut values[..first_leaf]);
         let cut = self.tile_cut();
         let slabs = self.shape.level_width(cut);
         let leaf_w = self.shape.leaves() / slabs;
         for s in 0..slabs {
             let lo = first_leaf + s * leaf_w;
-            laplace.add_noise(rng, &mut values[lo..lo + leaf_w]);
+            laplace.add_noise_with(backend, rng, &mut values[lo..lo + leaf_w]);
             self.upward_slab(s, cut, values, z);
         }
         self.upward_levels(values, z, 0..cut);
+    }
+
+    /// One complete fused trial — evaluate the prepared query, add Laplace
+    /// noise through the preparation's backend with the draws interleaved
+    /// into the upward slabs, run the top-down pass (optionally with the
+    /// Sec. 4.2 zeroing + Sec. 5.2 rounding fused in) — against caller-owned
+    /// buffers. `noisy` and `z` are scratch (resized to `nodes()`, reusable
+    /// across trials); `out` must already have length `nodes()`.
+    ///
+    /// This is the per-trial core shared by every `release_and_infer*`
+    /// entry point, including the trial-parallel batch — so "bit-identical
+    /// to serial per backend" holds by construction: all paths run exactly
+    /// this function per trial.
+    #[allow(clippy::too_many_arguments)] // scratch + output slots, all required
+    fn fused_trial<Q: QuerySequence, R: Rng + ?Sized>(
+        &self,
+        prepared: &PreparedMechanism<Q>,
+        histogram: &Histogram,
+        rng: &mut R,
+        rounded: bool,
+        noisy: &mut Vec<f64>,
+        z: &mut Vec<f64>,
+        out: &mut [f64],
+    ) {
+        let n = self.nodes();
+        assert!(
+            self.is_uniform(),
+            "engine is compiled with per-level GLS weights; recompile with \
+             ensure_shape before running uniform release_and_infer trials"
+        );
+        assert_eq!(
+            prepared.output_len(),
+            n,
+            "prepared query does not cover the engine's tree"
+        );
+        assert_eq!(
+            histogram.len(),
+            prepared.domain_size(),
+            "prepared for a different domain size"
+        );
+        // A tree-covering query's domain fits the leaf level; a flat query
+        // whose output merely has the same length (e.g. UnitQuery over
+        // `nodes()` bins) does not — fail loudly instead of inferring over
+        // values that are not tree counts.
+        assert!(
+            prepared.domain_size() <= self.shape.leaves(),
+            "prepared query's domain exceeds the tree's leaf level — not a \
+             hierarchical release over this engine's shape"
+        );
+        assert_eq!(out.len(), n, "output slice must cover the tree");
+        prepared.query().evaluate_into(histogram, noisy);
+        z.resize(n, 0.0);
+        self.noised_upward(&prepared.noise(), prepared.backend(), rng, noisy, z);
+        if rounded {
+            self.downward_zero_round(noisy, z, out);
+        } else {
+            self.downward(noisy, z, out);
+        }
     }
 
     /// The zero sweep over parent depths `depths` (children at `d + 1`),
@@ -1101,56 +1166,7 @@ impl BatchInference {
         rng: &mut R,
         out: &mut Vec<f64>,
     ) {
-        let (mut noisy, mut z) = self.release_and_upward(prepared, histogram, rng, out);
-        self.tree.downward(&noisy, &z, out);
-        std::mem::swap(&mut self.noisy, &mut noisy);
-        std::mem::swap(&mut self.z, &mut z);
-    }
-
-    /// The shared front half of the fused trials: evaluate the prepared
-    /// query into engine scratch, then run the noise-fused upward pass.
-    /// Returns the (noisy, z) buffers for the caller's downward pass to
-    /// hand back via swap.
-    fn release_and_upward<Q: QuerySequence, R: Rng + ?Sized>(
-        &mut self,
-        prepared: &PreparedMechanism<Q>,
-        histogram: &Histogram,
-        rng: &mut R,
-        out: &mut Vec<f64>,
-    ) -> (Vec<f64>, Vec<f64>) {
-        let n = self.tree.nodes();
-        assert!(
-            self.tree.is_uniform(),
-            "engine is compiled with per-level GLS weights; recompile with \
-             ensure_shape before running uniform release_and_infer trials"
-        );
-        assert_eq!(
-            prepared.output_len(),
-            n,
-            "prepared query does not cover the engine's tree"
-        );
-        assert_eq!(
-            histogram.len(),
-            prepared.domain_size(),
-            "prepared for a different domain size"
-        );
-        // A tree-covering query's domain fits the leaf level; a flat query
-        // whose output merely has the same length (e.g. UnitQuery over
-        // `nodes()` bins) does not — fail loudly instead of inferring over
-        // values that are not tree counts.
-        assert!(
-            prepared.domain_size() <= self.tree.shape().leaves(),
-            "prepared query's domain exceeds the tree's leaf level — not a \
-             hierarchical release over this engine's shape"
-        );
-        let mut noisy = std::mem::take(&mut self.noisy);
-        let mut z = std::mem::take(&mut self.z);
-        prepared.query().evaluate_into(histogram, &mut noisy);
-        z.resize(n, 0.0);
-        out.resize(n, 0.0);
-        self.tree
-            .noised_upward(&prepared.noise(), rng, &mut noisy, &mut z);
-        (noisy, z)
+        self.fused_trial_into(prepared, histogram, rng, false, out);
     }
 
     /// [`Self::release_and_infer`] plus the Sec. 4.2 subtree zeroing and
@@ -1164,10 +1180,158 @@ impl BatchInference {
         rng: &mut R,
         out: &mut Vec<f64>,
     ) {
-        let (mut noisy, mut z) = self.release_and_upward(prepared, histogram, rng, out);
-        self.tree.downward_zero_round(&noisy, &z, out);
-        std::mem::swap(&mut self.noisy, &mut noisy);
-        std::mem::swap(&mut self.z, &mut z);
+        self.fused_trial_into(prepared, histogram, rng, true, out);
+    }
+
+    /// [`LevelTree::fused_trial`] through the engine's scratch buffers.
+    fn fused_trial_into<Q: QuerySequence, R: Rng + ?Sized>(
+        &mut self,
+        prepared: &PreparedMechanism<Q>,
+        histogram: &Histogram,
+        rng: &mut R,
+        rounded: bool,
+        out: &mut Vec<f64>,
+    ) {
+        let mut noisy = std::mem::take(&mut self.noisy);
+        let mut z = std::mem::take(&mut self.z);
+        out.resize(self.tree.nodes(), 0.0);
+        self.tree
+            .fused_trial(prepared, histogram, rng, rounded, &mut noisy, &mut z, out);
+        self.noisy = noisy;
+        self.z = z;
+    }
+
+    /// A whole batch of fused trials, serial: trial `t` runs the complete
+    /// release→inference pipeline with its own RNG `seeds.rng(t)`, writing
+    /// its inferred (if `rounded`, zeroed-and-rounded) tree into
+    /// `out_batch[t·n .. (t+1)·n]` — and, when `noisy_batch` is `Some`, its
+    /// noisy release into the same slice of that buffer. Trial `t` is
+    /// bit-identical to [`Self::release_and_infer`] (or `_rounded`) run
+    /// alone with `seeds.rng(t)` — the per-trial seeding makes every trial
+    /// independent of batch size and position.
+    ///
+    /// Keeping the noisy release per trial is what the Fig. 6-style
+    /// experiment loops need: `H̃` answers come from the release, `H̄`
+    /// answers from the inferred tree, one fused pipeline pass for both.
+    /// Callers that only consume the inference (e.g. the non-negativity
+    /// ablation) pass `None` and skip the batch's memory and copies.
+    #[allow(clippy::too_many_arguments)]
+    pub fn release_and_infer_batch<Q: QuerySequence>(
+        &mut self,
+        prepared: &PreparedMechanism<Q>,
+        histogram: &Histogram,
+        seeds: SeedStream,
+        trials: usize,
+        rounded: bool,
+        mut noisy_batch: Option<&mut Vec<f64>>,
+        out_batch: &mut Vec<f64>,
+    ) {
+        let n = self.tree.nodes();
+        if let Some(nb) = noisy_batch.as_deref_mut() {
+            nb.resize(trials * n, 0.0);
+        }
+        out_batch.resize(trials * n, 0.0);
+        let mut noisy = std::mem::take(&mut self.noisy);
+        let mut z = std::mem::take(&mut self.z);
+        for (t, out_chunk) in out_batch.chunks_exact_mut(n).enumerate() {
+            let mut rng = seeds.rng(t as u64);
+            self.tree.fused_trial(
+                prepared, histogram, &mut rng, rounded, &mut noisy, &mut z, out_chunk,
+            );
+            if let Some(nb) = noisy_batch.as_deref_mut() {
+                nb[t * n..(t + 1) * n].copy_from_slice(&noisy);
+            }
+        }
+        self.noisy = noisy;
+        self.z = z;
+    }
+
+    /// [`Self::release_and_infer_batch`] with trials split across
+    /// scoped-thread workers — the full pipeline (evaluate, Laplace draws,
+    /// both Theorem-3 passes, optional zeroing/rounding) scaled by trial,
+    /// not just the inference step.
+    ///
+    /// Like `hc-bench`'s `run_trials_with`: each worker owns one set of
+    /// per-worker scratch (engine buffers, amortized over its share of
+    /// trials) and trials are claimed from an atomic work queue, but every
+    /// trial's randomness comes only from `seeds.rng(t)` — so the output is
+    /// bit-identical to the serial batch (and to `trials` standalone
+    /// `release_and_infer*` calls) for any thread count or scheduling, per
+    /// backend. `threads` is a cap, overridable via the `HC_THREADS`
+    /// environment variable ([`effective_threads`]).
+    #[allow(clippy::too_many_arguments)]
+    pub fn release_and_infer_batch_parallel<Q: QuerySequence + Sync>(
+        &mut self,
+        prepared: &PreparedMechanism<Q>,
+        histogram: &Histogram,
+        seeds: SeedStream,
+        trials: usize,
+        rounded: bool,
+        threads: usize,
+        noisy_batch: Option<&mut Vec<f64>>,
+        out_batch: &mut Vec<f64>,
+    ) {
+        let workers = effective_threads(threads).max(1).min(trials.max(1));
+        if workers <= 1 {
+            self.release_and_infer_batch(
+                prepared,
+                histogram,
+                seeds,
+                trials,
+                rounded,
+                noisy_batch,
+                out_batch,
+            );
+            return;
+        }
+        let n = self.tree.nodes();
+        out_batch.resize(trials * n, 0.0);
+        let noisy_chunks: Vec<Option<&mut [f64]>> = match noisy_batch {
+            Some(nb) => {
+                nb.resize(trials * n, 0.0);
+                nb.chunks_exact_mut(n).map(Some).collect()
+            }
+            None => (0..trials).map(|_| None).collect(),
+        };
+        // One claimed-once job per trial: its disjoint (noisy, out) slices
+        // behind a mutex so the `&mut` slices cross the scope without
+        // unsafe code (the same shape as the subtree work queue).
+        type TrialJob<'a> = Mutex<Option<(Option<&'a mut [f64]>, &'a mut [f64])>>;
+        let jobs: Vec<TrialJob> = noisy_chunks
+            .into_iter()
+            .zip(out_batch.chunks_exact_mut(n))
+            .map(|(noisy_chunk, out_chunk)| Mutex::new(Some((noisy_chunk, out_chunk))))
+            .collect();
+        let next = AtomicUsize::new(0);
+        let tree = &self.tree;
+        let jobs = &jobs;
+        let next = &next;
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(move || {
+                    let mut noisy = Vec::new();
+                    let mut z = Vec::new();
+                    loop {
+                        let t = next.fetch_add(1, Ordering::Relaxed);
+                        if t >= jobs.len() {
+                            break;
+                        }
+                        let (noisy_chunk, out_chunk) = jobs[t]
+                            .lock()
+                            .expect("job mutex never poisoned")
+                            .take()
+                            .expect("each trial claimed exactly once");
+                        let mut rng = seeds.rng(t as u64);
+                        tree.fused_trial(
+                            prepared, histogram, &mut rng, rounded, &mut noisy, &mut z, out_chunk,
+                        );
+                        if let Some(noisy_chunk) = noisy_chunk {
+                            noisy_chunk.copy_from_slice(&noisy);
+                        }
+                    }
+                });
+            }
+        });
     }
 
     /// [`LevelTree::infer_zero_round_into`] through the engine's reusable
@@ -1552,6 +1716,94 @@ mod tests {
             .prepare(HierarchicalQuery::binary(), 4);
         let mut out = Vec::new();
         engine.release_and_infer(&prepared, &histogram, &mut rng_from_seed(1), &mut out);
+    }
+
+    #[test]
+    fn batch_pipeline_matches_standalone_trials_per_backend() {
+        use hc_data::Domain;
+        use hc_mech::{Epsilon, HierarchicalQuery, LaplaceMechanism};
+        let n = 64usize;
+        let counts: Vec<u64> = (0..n as u64).map(|i| i % 9).collect();
+        let histogram = Histogram::from_counts(Domain::new("x", n).unwrap(), counts);
+        let shape = TreeShape::for_domain(n, 2);
+        let seeds = SeedStream::new(91);
+        let trials = 11;
+        for backend in [NoiseBackend::Reference, NoiseBackend::FastLn] {
+            let prepared = LaplaceMechanism::new(Epsilon::new(0.5).unwrap())
+                .with_backend(backend)
+                .prepare(HierarchicalQuery::binary(), n);
+            for rounded in [false, true] {
+                // Oracle: run each trial standalone with its own seed.
+                let mut engine = BatchInference::for_shape(&shape);
+                let nodes = shape.nodes();
+                let mut expect_noisy = Vec::new();
+                let mut expect_out = Vec::new();
+                for t in 0..trials {
+                    let mut rng = seeds.rng(t as u64);
+                    let mut out = Vec::new();
+                    if rounded {
+                        engine.release_and_infer_rounded(&prepared, &histogram, &mut rng, &mut out);
+                    } else {
+                        engine.release_and_infer(&prepared, &histogram, &mut rng, &mut out);
+                    }
+                    expect_noisy.extend_from_slice(&engine.noisy[..nodes]);
+                    expect_out.extend(out);
+                }
+                // Serial batch ≡ standalone trials.
+                let (mut noisy_batch, mut out_batch) = (Vec::new(), Vec::new());
+                engine.release_and_infer_batch(
+                    &prepared,
+                    &histogram,
+                    seeds,
+                    trials,
+                    rounded,
+                    Some(&mut noisy_batch),
+                    &mut out_batch,
+                );
+                assert_eq!(out_batch, expect_out, "{backend:?} rounded={rounded}");
+                assert_eq!(noisy_batch, expect_noisy, "{backend:?} rounded={rounded}");
+                // Parallel ≡ serial for every fan-out (1 exercises the
+                // serial fallback inside the parallel entry point).
+                for threads in [1usize, 2, 4, 16] {
+                    let (mut pn, mut po) = (Vec::new(), Vec::new());
+                    engine.release_and_infer_batch_parallel(
+                        &prepared,
+                        &histogram,
+                        seeds,
+                        trials,
+                        rounded,
+                        threads,
+                        Some(&mut pn),
+                        &mut po,
+                    );
+                    assert_eq!(po, expect_out, "{backend:?} threads={threads}");
+                    assert_eq!(pn, expect_noisy, "{backend:?} threads={threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_pipeline_handles_zero_trials() {
+        use hc_data::Domain;
+        use hc_mech::{Epsilon, HierarchicalQuery, LaplaceMechanism};
+        let histogram = Histogram::from_counts(Domain::new("x", 4).unwrap(), vec![1, 2, 3, 4]);
+        let shape = TreeShape::for_domain(4, 2);
+        let prepared = LaplaceMechanism::new(Epsilon::new(1.0).unwrap())
+            .prepare(HierarchicalQuery::binary(), 4);
+        let mut engine = BatchInference::for_shape(&shape);
+        let (mut noisy, mut out) = (vec![1.0; 10], vec![2.0; 10]);
+        engine.release_and_infer_batch_parallel(
+            &prepared,
+            &histogram,
+            SeedStream::new(1),
+            0,
+            true,
+            4,
+            Some(&mut noisy),
+            &mut out,
+        );
+        assert!(noisy.is_empty() && out.is_empty());
     }
 
     #[test]

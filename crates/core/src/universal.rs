@@ -17,7 +17,7 @@
 //! during inference.
 
 use hc_data::{Histogram, Interval};
-use hc_mech::{Epsilon, HierarchicalQuery, LaplaceMechanism, TreeShape, UnitQuery};
+use hc_mech::{Epsilon, HierarchicalQuery, LaplaceMechanism, NoiseBackend, TreeShape, UnitQuery};
 use rand::Rng;
 
 use crate::engine::{BatchInference, LevelTree};
@@ -49,12 +49,22 @@ impl Rounding {
 #[derive(Debug, Clone, Copy)]
 pub struct FlatUniversal {
     epsilon: Epsilon,
+    backend: NoiseBackend,
 }
 
 impl FlatUniversal {
-    /// A pipeline calibrated to `epsilon`.
+    /// A pipeline calibrated to `epsilon` (default
+    /// [`NoiseBackend::Reference`] sampling).
     pub fn new(epsilon: Epsilon) -> Self {
-        Self { epsilon }
+        Self {
+            epsilon,
+            backend: NoiseBackend::Reference,
+        }
+    }
+
+    /// The same pipeline sampling through `backend`.
+    pub fn with_backend(self, backend: NoiseBackend) -> Self {
+        Self { backend, ..self }
     }
 
     /// The configured ε.
@@ -62,27 +72,60 @@ impl FlatUniversal {
         self.epsilon
     }
 
+    /// The configured sampling backend.
+    pub fn backend(&self) -> NoiseBackend {
+        self.backend
+    }
+
     /// Releases `l̃ = L̃(I)`.
     pub fn release<R: Rng + ?Sized>(&self, histogram: &Histogram, rng: &mut R) -> FlatRelease {
-        let mech = LaplaceMechanism::new(self.epsilon);
-        let mut noisy = Vec::new();
-        mech.release_into(&UnitQuery, histogram, rng, &mut noisy);
-        FlatRelease::from_noisy(self.epsilon, noisy)
+        let mut out = FlatRelease::from_noisy(self.epsilon, Vec::new());
+        self.release_into(histogram, rng, &mut out);
+        out
     }
 
     /// Re-releases into an existing [`FlatRelease`], reusing its buffers —
     /// allocation-free after warm-up, bit-identical to [`Self::release`] at
     /// the same RNG state.
+    ///
+    /// The old path was three passes over the domain: evaluate, perturb,
+    /// then re-read the noisy vector to build both prefix arrays. This is
+    /// two: a backend-batched [`hc_noise::Laplace::fill_with`] draws the
+    /// noise (so `FastLn` keeps its vectorized block transform), then one
+    /// **fused counts+prefix pass** adds each unit count and folds the value
+    /// into both prefix-sum arrays while it is still in registers. Per
+    /// element the arithmetic is the old path's exactly (`count + sample` —
+    /// f64 addition commutes bitwise — then `prefix[i] + value` in index
+    /// order), so the release is bit-identical to perturbing via
+    /// [`LaplaceMechanism::release_into`] and then rebuilding the prefixes.
     pub fn release_into<R: Rng + ?Sized>(
         &self,
         histogram: &Histogram,
         rng: &mut R,
         out: &mut FlatRelease,
     ) {
-        let mech = LaplaceMechanism::new(self.epsilon);
-        let mut noisy = std::mem::take(&mut out.noisy);
-        mech.release_into(&UnitQuery, histogram, rng, &mut noisy);
-        out.refill(self.epsilon, noisy);
+        let mech = LaplaceMechanism::new(self.epsilon).with_backend(self.backend);
+        let laplace = hc_noise::Laplace::centered(mech.noise_scale(&UnitQuery, histogram.len()))
+            .expect("positive scale from valid ε");
+        let n = histogram.len();
+        out.epsilon = self.epsilon;
+        out.noisy.resize(n, 0.0);
+        laplace.fill_with(self.backend, rng, &mut out.noisy);
+        out.prefix_raw.clear();
+        out.prefix_rounded.clear();
+        out.prefix_raw.reserve(n + 1);
+        out.prefix_rounded.reserve(n + 1);
+        out.prefix_raw.push(0.0);
+        out.prefix_rounded.push(0.0);
+        let (mut raw_acc, mut rounded_acc) = (0.0f64, 0.0f64);
+        for (slot, &count) in out.noisy.iter_mut().zip(histogram.counts()) {
+            let v = count as f64 + *slot;
+            *slot = v;
+            raw_acc += v;
+            rounded_acc += Rounding::NonNegativeInteger.apply(v);
+            out.prefix_raw.push(raw_acc);
+            out.prefix_rounded.push(rounded_acc);
+        }
     }
 }
 
@@ -161,14 +204,17 @@ impl FlatRelease {
 #[derive(Debug, Clone, Copy)]
 pub struct HierarchicalUniversal {
     epsilon: Epsilon,
+    backend: NoiseBackend,
     query: HierarchicalQuery,
 }
 
 impl HierarchicalUniversal {
-    /// A pipeline with branching factor `k`.
+    /// A pipeline with branching factor `k` (default
+    /// [`NoiseBackend::Reference`] sampling).
     pub fn new(epsilon: Epsilon, branching: usize) -> Self {
         Self {
             epsilon,
+            backend: NoiseBackend::Reference,
             query: HierarchicalQuery::new(branching),
         }
     }
@@ -178,9 +224,21 @@ impl HierarchicalUniversal {
         Self::new(epsilon, 2)
     }
 
+    /// The same pipeline sampling through `backend` — threaded into every
+    /// release path, including the prepared mechanism
+    /// [`BatchInference::release_and_infer`] consumes.
+    pub fn with_backend(self, backend: NoiseBackend) -> Self {
+        Self { backend, ..self }
+    }
+
     /// The configured ε.
     pub fn epsilon(&self) -> Epsilon {
         self.epsilon
+    }
+
+    /// The configured sampling backend.
+    pub fn backend(&self) -> NoiseBackend {
+        self.backend
     }
 
     /// The branching factor `k`.
@@ -190,7 +248,7 @@ impl HierarchicalUniversal {
 
     /// Releases `h̃ = H̃(I)`.
     pub fn release<R: Rng + ?Sized>(&self, histogram: &Histogram, rng: &mut R) -> TreeRelease {
-        let mech = LaplaceMechanism::new(self.epsilon);
+        let mech = LaplaceMechanism::new(self.epsilon).with_backend(self.backend);
         let mut noisy = Vec::new();
         mech.release_into(&self.query, histogram, rng, &mut noisy);
         TreeRelease {
@@ -210,7 +268,7 @@ impl HierarchicalUniversal {
         rng: &mut R,
         out: &mut TreeRelease,
     ) {
-        let mech = LaplaceMechanism::new(self.epsilon);
+        let mech = LaplaceMechanism::new(self.epsilon).with_backend(self.backend);
         mech.release_into(&self.query, histogram, rng, &mut out.noisy);
         out.shape = self.query.shape(histogram.len());
         out.epsilon = self.epsilon;
@@ -232,9 +290,13 @@ impl HierarchicalUniversal {
     }
 
     /// The hoisted mechanism for this pipeline over `domain_size` — what
-    /// [`BatchInference::release_and_infer`] consumes.
+    /// [`BatchInference::release_and_infer`] consumes. Carries the
+    /// pipeline's backend, so fused engine trials sample exactly as
+    /// [`Self::release_into`] does.
     pub fn prepare(&self, domain_size: usize) -> hc_mech::PreparedMechanism<HierarchicalQuery> {
-        LaplaceMechanism::new(self.epsilon).prepare(self.query, domain_size)
+        LaplaceMechanism::new(self.epsilon)
+            .with_backend(self.backend)
+            .prepare(self.query, domain_size)
     }
 }
 
@@ -601,6 +663,59 @@ mod tests {
             tree.release_into(&h, &mut rng_from_seed(seed), &mut tree_buf);
             assert_eq!(tree_buf.noisy_values(), owned_tree.noisy_values());
             assert_eq!(tree_buf.shape(), owned_tree.shape());
+        }
+    }
+
+    #[test]
+    fn fused_flat_release_matches_the_two_pass_path_bit_for_bit() {
+        // The counts+prefix fusion must reproduce the old pipeline exactly:
+        // perturb via the mechanism (two passes), then rebuild both prefix
+        // arrays from the noisy vector (`from_noisy`'s construction).
+        let d = Domain::new("x", 37).unwrap();
+        let counts: Vec<u64> = (0..37).map(|i| (i * 7 + 3) % 11).collect();
+        let h = Histogram::from_counts(d, counts);
+        for backend in [NoiseBackend::Reference, NoiseBackend::FastLn] {
+            let flat = FlatUniversal::new(eps(0.3)).with_backend(backend);
+            assert_eq!(flat.backend(), backend);
+            for seed in [120u64, 121, 122] {
+                let mech = LaplaceMechanism::new(eps(0.3)).with_backend(backend);
+                let mut noisy = Vec::new();
+                mech.release_into(&UnitQuery, &h, &mut rng_from_seed(seed), &mut noisy);
+                let two_pass = FlatRelease::from_noisy(eps(0.3), noisy);
+
+                let fused = flat.release(&h, &mut rng_from_seed(seed));
+                assert_eq!(fused.counts(), two_pass.counts());
+                assert_eq!(fused.prefix_raw, two_pass.prefix_raw);
+                assert_eq!(fused.prefix_rounded, two_pass.prefix_rounded);
+
+                // And the buffer-reusing form agrees with the owned form.
+                let mut reused = FlatRelease::from_noisy(eps(0.3), vec![0.0; 64]);
+                flat.release_into(&h, &mut rng_from_seed(seed), &mut reused);
+                assert_eq!(reused.counts(), fused.counts());
+                assert_eq!(reused.prefix_raw, fused.prefix_raw);
+                assert_eq!(reused.prefix_rounded, fused.prefix_rounded);
+            }
+        }
+    }
+
+    #[test]
+    fn tree_pipeline_backend_threads_through_release_and_prepare() {
+        // Big enough that fast_ln's low-bit differences from the platform ln
+        // are certain to show up somewhere in the release (per sample the
+        // two usually round identically).
+        let d = Domain::new("x", 256).unwrap();
+        let h = Histogram::from_counts(d, vec![3; 256]);
+        let pipeline = HierarchicalUniversal::binary(eps(0.5)).with_backend(NoiseBackend::FastLn);
+        assert_eq!(pipeline.backend(), NoiseBackend::FastLn);
+        assert_eq!(pipeline.prepare(h.len()).backend(), NoiseBackend::FastLn);
+        // Same seed: FastLn and Reference releases differ (different ln
+        // arithmetic) but stay within polynomial accuracy of each other.
+        let fast = pipeline.release(&h, &mut rng_from_seed(130));
+        let reference =
+            HierarchicalUniversal::binary(eps(0.5)).release(&h, &mut rng_from_seed(130));
+        assert_ne!(fast.noisy_values(), reference.noisy_values());
+        for (f, r) in fast.noisy_values().iter().zip(reference.noisy_values()) {
+            assert!((f - r).abs() <= 1e-9 * (1.0 + r.abs()), "{f} vs {r}");
         }
     }
 

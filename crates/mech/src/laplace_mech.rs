@@ -3,7 +3,7 @@
 use std::borrow::Cow;
 
 use hc_data::Histogram;
-use hc_noise::Laplace;
+use hc_noise::{Laplace, NoiseBackend};
 use rand::Rng;
 
 use crate::{Epsilon, QuerySequence};
@@ -55,17 +55,35 @@ impl NoisyOutput {
 #[derive(Debug, Clone, Copy)]
 pub struct LaplaceMechanism {
     epsilon: Epsilon,
+    backend: NoiseBackend,
 }
 
 impl LaplaceMechanism {
-    /// A mechanism calibrated to `epsilon`.
+    /// A mechanism calibrated to `epsilon`, sampling through the default
+    /// [`NoiseBackend::Reference`] backend (bit-identical to every
+    /// historical release of this workspace).
     pub fn new(epsilon: Epsilon) -> Self {
-        Self { epsilon }
+        Self {
+            epsilon,
+            backend: NoiseBackend::Reference,
+        }
+    }
+
+    /// The same mechanism sampling through `backend`. Privacy is identical
+    /// (both backends draw exact Laplace noise); only the sample bits — and
+    /// therefore which golden snapshots apply — change.
+    pub fn with_backend(self, backend: NoiseBackend) -> Self {
+        Self { backend, ..self }
     }
 
     /// The configured ε.
     pub fn epsilon(&self) -> Epsilon {
         self.epsilon
+    }
+
+    /// The configured sampling backend.
+    pub fn backend(&self) -> NoiseBackend {
+        self.backend
     }
 
     /// The Laplace scale `b = Δ_Q/ε` for `query` over a domain of
@@ -103,6 +121,7 @@ impl LaplaceMechanism {
         PreparedMechanism {
             query,
             epsilon: self.epsilon,
+            backend: self.backend,
             domain_size,
             output_len,
             scale,
@@ -121,7 +140,7 @@ impl LaplaceMechanism {
         let mut values = query.evaluate(histogram);
         let scale = self.noise_scale(query, histogram.len());
         self.noise_for(query, histogram.len())
-            .add_noise(rng, &mut values);
+            .add_noise_with(self.backend, rng, &mut values);
         NoisyOutput {
             values,
             epsilon: self.epsilon,
@@ -147,7 +166,7 @@ impl LaplaceMechanism {
     ) -> f64 {
         query.evaluate_into(histogram, values);
         self.noise_for(query, histogram.len())
-            .add_noise(rng, values);
+            .add_noise_with(self.backend, rng, values);
         self.noise_scale(query, histogram.len())
     }
 
@@ -172,6 +191,7 @@ impl LaplaceMechanism {
 pub struct PreparedMechanism<Q> {
     query: Q,
     epsilon: Epsilon,
+    backend: NoiseBackend,
     domain_size: usize,
     output_len: usize,
     scale: f64,
@@ -188,6 +208,14 @@ impl<Q: QuerySequence> PreparedMechanism<Q> {
     /// The ε the mechanism was calibrated to.
     pub fn epsilon(&self) -> Epsilon {
         self.epsilon
+    }
+
+    /// The sampling backend every release through this preparation uses —
+    /// fused pipelines that take over the noise draws (via [`Self::noise`])
+    /// must sample through the same backend to stay bit-identical to
+    /// [`Self::release_into`].
+    pub fn backend(&self) -> NoiseBackend {
+        self.backend
     }
 
     /// The domain size the preparation assumed (releases assert it).
@@ -238,7 +266,7 @@ impl<Q: QuerySequence> PreparedMechanism<Q> {
             "prepared for a different domain size"
         );
         self.query.evaluate_into(histogram, values);
-        self.laplace.add_noise(rng, values);
+        self.laplace.add_noise_with(self.backend, rng, values);
     }
 
     /// Releases an owned [`NoisyOutput`] (allocates the value vector and, if
@@ -379,5 +407,39 @@ mod tests {
         let prepared = mech.prepare(UnitQuery, 8);
         let mut buf = Vec::new();
         prepared.release_into(&example(), &mut rng_from_seed(72), &mut buf);
+    }
+
+    #[test]
+    fn backend_threads_through_prepare_and_release() {
+        let h = example();
+        let mech = LaplaceMechanism::new(Epsilon::new(0.4).unwrap());
+        assert_eq!(mech.backend(), NoiseBackend::Reference);
+        let fast = mech.with_backend(NoiseBackend::FastLn);
+        assert_eq!(fast.backend(), NoiseBackend::FastLn);
+        assert_eq!(fast.epsilon(), mech.epsilon());
+        let prepared = fast.prepare(HierarchicalQuery::binary(), h.len());
+        assert_eq!(prepared.backend(), NoiseBackend::FastLn);
+
+        // All three FastLn release paths consume the stream identically.
+        let owned = fast.release(&HierarchicalQuery::binary(), &h, &mut rng_from_seed(73));
+        let mut via_into = Vec::new();
+        fast.release_into(
+            &HierarchicalQuery::binary(),
+            &h,
+            &mut rng_from_seed(73),
+            &mut via_into,
+        );
+        let mut via_prepared = Vec::new();
+        prepared.release_into(&h, &mut rng_from_seed(73), &mut via_prepared);
+        assert_eq!(owned.values(), via_into);
+        assert_eq!(owned.values(), via_prepared);
+
+        // And the backend really changes the sample bits (same seed, same
+        // scale, different ln arithmetic) while staying close.
+        let reference = mech.release(&HierarchicalQuery::binary(), &h, &mut rng_from_seed(73));
+        assert_ne!(reference.values(), owned.values());
+        for (r, f) in reference.values().iter().zip(owned.values()) {
+            assert!((r - f).abs() <= 1e-9 * (1.0 + r.abs()), "{r} vs {f}");
+        }
     }
 }

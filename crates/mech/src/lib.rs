@@ -31,6 +31,10 @@ pub mod sequences;
 pub use budget::{BudgetError, Epsilon, PrivacyBudget};
 pub use confidence::{laplace_half_width, ConfidenceInterval};
 pub use laplace_mech::{LaplaceMechanism, NoisyOutput, PreparedMechanism};
+// The sampling-backend choice travels with the mechanism, so re-export it
+// here: code configuring a `LaplaceMechanism` should not need a direct
+// `hc-noise` dependency just to name a backend.
+pub use hc_noise::NoiseBackend;
 pub use query::QuerySequence;
 pub use sensitivity::empirical_sensitivity;
 pub use sequences::{HierarchicalQuery, SortedQuery, TreeShape, UnitQuery};

@@ -2,7 +2,16 @@
 
 use rand::Rng;
 
-use crate::NoiseError;
+use crate::backend::fast_ln;
+use crate::{NoiseBackend, NoiseError};
+
+/// Samples per block in the [`NoiseBackend::FastLn`] batch paths: the
+/// uniforms for one block are drawn into a stack buffer first, then the
+/// branch-free `fast_ln` transform runs over the buffer so the compiler can
+/// vectorize it. 256 × 8 B = 2 KiB — resident in L1 alongside the output.
+/// Block size never affects sample bits (the transform is elementwise and
+/// consumes exactly one uniform per sample, in index order).
+const FAST_BLOCK: usize = 256;
 
 /// A Laplace distribution with location `mu` and scale `b > 0`.
 ///
@@ -111,6 +120,39 @@ impl Laplace {
         self.mu + magnitude.copysign(u)
     }
 
+    /// One sample through the named backend.
+    ///
+    /// Consumes exactly one uniform draw either way, so a stream of
+    /// `sample_with` calls stays draw-for-draw aligned with [`Self::sample`]
+    /// (and with the batch paths) regardless of backend; only the `ln`
+    /// arithmetic — and therefore the low bits of the sample — differs.
+    pub fn sample_with<R: Rng + ?Sized>(&self, backend: NoiseBackend, rng: &mut R) -> f64 {
+        match backend {
+            NoiseBackend::Reference => self.sample(rng),
+            NoiseBackend::FastLn => {
+                let u = 0.5 - rng.random::<f64>();
+                self.mu + self.fast_magnitude(u).copysign(u)
+            }
+        }
+    }
+
+    /// The `FastLn` magnitude `−b · fast_ln(1 − 2|u|)` for `u ∈ (−1/2, 1/2]`.
+    ///
+    /// The argument `1 − 2|u|` is an even multiple of 2⁻⁵³ in `(0, 1]`, so
+    /// it is a positive normal — inside [`fast_ln`]'s domain — except for
+    /// the single point `u = 1/2` (uniform draw exactly 0, probability
+    /// 2⁻⁵³), which the select maps to the reference answer `+∞`.
+    #[inline]
+    fn fast_magnitude(&self, u: f64) -> f64 {
+        let x = 1.0 - 2.0 * u.abs();
+        let l = if x == 0.0 {
+            f64::NEG_INFINITY
+        } else {
+            fast_ln(x)
+        };
+        -self.b * l
+    }
+
     /// Fills `out` with i.i.d. samples, overwriting its contents.
     ///
     /// This is the buffer-reuse primitive behind the allocation-free release
@@ -118,6 +160,56 @@ impl Laplace {
     pub fn fill<R: Rng + ?Sized>(&self, rng: &mut R, out: &mut [f64]) {
         for slot in out {
             *slot = self.sample(rng);
+        }
+    }
+
+    /// [`Self::fill`] through the named backend.
+    ///
+    /// `Reference` is exactly [`Self::fill`]. `FastLn` draws each block's
+    /// uniforms first and then runs the polynomial transform over the block
+    /// (vectorized), with a scalar tail; its output is bit-identical to
+    /// calling [`Self::sample_with`]`(FastLn)` once per slot, so sample
+    /// values never depend on buffer length or block boundaries.
+    pub fn fill_with<R: Rng + ?Sized>(&self, backend: NoiseBackend, rng: &mut R, out: &mut [f64]) {
+        match backend {
+            NoiseBackend::Reference => self.fill(rng, out),
+            NoiseBackend::FastLn => self.fast_ln_pass::<false, R>(rng, out),
+        }
+    }
+
+    /// The shared `FastLn` block loop behind [`Self::fill_with`] and
+    /// [`Self::add_noise_with`] — one implementation so the draw order, the
+    /// blocking, and the per-sample transform cannot drift apart between
+    /// the two entry points. `ACCUMULATE` selects write (`=`, fill) versus
+    /// perturb (`+=`, add-noise); the sample value expression is identical,
+    /// so both stay bit-aligned with the scalar [`Self::sample_with`] path.
+    fn fast_ln_pass<const ACCUMULATE: bool, R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        values: &mut [f64],
+    ) {
+        let mut us = [0.0f64; FAST_BLOCK];
+        let mut blocks = values.chunks_exact_mut(FAST_BLOCK);
+        for block in &mut blocks {
+            for u in us.iter_mut() {
+                *u = 0.5 - rng.random::<f64>();
+            }
+            for (slot, &u) in block.iter_mut().zip(&us) {
+                let sample = self.mu + self.fast_magnitude(u).copysign(u);
+                if ACCUMULATE {
+                    *slot += sample;
+                } else {
+                    *slot = sample;
+                }
+            }
+        }
+        for slot in blocks.into_remainder() {
+            let sample = self.sample_with(NoiseBackend::FastLn, rng);
+            if ACCUMULATE {
+                *slot += sample;
+            } else {
+                *slot = sample;
+            }
         }
     }
 
@@ -136,6 +228,21 @@ impl Laplace {
     pub fn add_noise<R: Rng + ?Sized>(&self, rng: &mut R, values: &mut [f64]) {
         for v in values {
             *v += self.sample(rng);
+        }
+    }
+
+    /// [`Self::add_noise`] through the named backend (see
+    /// [`Self::fill_with`] for the `FastLn` blocking; the perturbation adds
+    /// the same samples, so `v + sample` bits match the per-sample path).
+    pub fn add_noise_with<R: Rng + ?Sized>(
+        &self,
+        backend: NoiseBackend,
+        rng: &mut R,
+        values: &mut [f64],
+    ) {
+        match backend {
+            NoiseBackend::Reference => self.add_noise(rng, values),
+            NoiseBackend::FastLn => self.fast_ln_pass::<true, R>(rng, values),
         }
     }
 
@@ -271,5 +378,93 @@ mod tests {
         let mut rng = rng_from_seed(12);
         let reference: Vec<f64> = base.iter().map(|v| v + d.sample(&mut rng)).collect();
         assert_eq!(perturbed, reference);
+    }
+
+    #[test]
+    fn reference_backend_is_the_plain_paths_bit_for_bit() {
+        let d = Laplace::new(1.5, 0.8).unwrap();
+        let mut a = vec![0.0f64; 100];
+        let mut b = vec![0.0f64; 100];
+        d.fill(&mut rng_from_seed(13), &mut a);
+        d.fill_with(NoiseBackend::Reference, &mut rng_from_seed(13), &mut b);
+        assert_eq!(a, b);
+        d.add_noise(&mut rng_from_seed(14), &mut a);
+        d.add_noise_with(NoiseBackend::Reference, &mut rng_from_seed(14), &mut b);
+        assert_eq!(a, b);
+        assert_eq!(
+            d.sample(&mut rng_from_seed(15)),
+            d.sample_with(NoiseBackend::Reference, &mut rng_from_seed(15))
+        );
+    }
+
+    #[test]
+    fn fast_backend_is_block_boundary_independent() {
+        // Sizes straddling the 256-sample block: bits must equal the scalar
+        // per-sample path at every length, remainder included.
+        let d = Laplace::new(-2.0, 3.1).unwrap();
+        for len in [0usize, 1, 255, 256, 257, 512, 700] {
+            let mut filled = vec![f64::NAN; len];
+            d.fill_with(NoiseBackend::FastLn, &mut rng_from_seed(16), &mut filled);
+            let mut rng = rng_from_seed(16);
+            let singles: Vec<f64> = (0..len)
+                .map(|_| d.sample_with(NoiseBackend::FastLn, &mut rng))
+                .collect();
+            assert_eq!(filled, singles, "len = {len}");
+
+            let base: Vec<f64> = (0..len).map(|i| i as f64 * 0.25 - 8.0).collect();
+            let mut perturbed = base.clone();
+            d.add_noise_with(NoiseBackend::FastLn, &mut rng_from_seed(17), &mut perturbed);
+            let mut rng = rng_from_seed(17);
+            let expect: Vec<f64> = base
+                .iter()
+                .map(|v| v + d.sample_with(NoiseBackend::FastLn, &mut rng))
+                .collect();
+            assert_eq!(perturbed, expect, "len = {len}");
+        }
+    }
+
+    #[test]
+    fn backends_stay_draw_aligned_and_close() {
+        // Same seed ⇒ same uniforms ⇒ samples agree to fast_ln's accuracy:
+        // relatively for the magnitude, hence to ~1e-14 relative per sample.
+        let d = Laplace::centered(4.0).unwrap();
+        let n = 4096;
+        let mut reference = vec![0.0f64; n];
+        let mut fast = vec![0.0f64; n];
+        d.fill(&mut rng_from_seed(18), &mut reference);
+        d.fill_with(NoiseBackend::FastLn, &mut rng_from_seed(18), &mut fast);
+        for (i, (r, f)) in reference.iter().zip(&fast).enumerate() {
+            assert_eq!(r.signum(), f.signum(), "sample {i} changed sign");
+            let rel = (r - f).abs() / r.abs().max(f64::MIN_POSITIVE);
+            assert!(rel < 1e-12, "sample {i}: {r} vs {f} (rel {rel:e})");
+        }
+    }
+
+    #[test]
+    fn fast_backend_moments_match_theory() {
+        let d = Laplace::centered(2.0).unwrap();
+        let mut rng = rng_from_seed(19);
+        let n = 200_000;
+        let mut samples = vec![0.0f64; n];
+        d.fill_with(NoiseBackend::FastLn, &mut rng, &mut samples);
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean = {mean}");
+        assert!(
+            (var - d.variance()).abs() / d.variance() < 0.05,
+            "var = {var}"
+        );
+    }
+
+    #[test]
+    fn fast_backend_guards_the_zero_uniform() {
+        // A uniform draw of exactly 0 maps to u = 1/2 and a +∞ magnitude in
+        // the reference; fast_ln's domain excludes the zero argument, so the
+        // sampler's select must reproduce the ±∞ answer rather than feed 0
+        // into the polynomial.
+        let d = Laplace::centered(1.0).unwrap();
+        assert_eq!(d.fast_magnitude(0.5), f64::INFINITY);
+        assert_eq!(d.fast_magnitude(-0.5), f64::INFINITY);
+        assert!(d.fast_magnitude(0.25).is_finite());
     }
 }

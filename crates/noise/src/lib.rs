@@ -12,6 +12,10 @@
 //! * [`SeedStream`] — deterministic derivation of independent per-trial seeds
 //!   from a master seed, so every experiment in the repository is exactly
 //!   reproducible.
+//! * [`NoiseBackend`] — versioned sampling algorithms for the batch Laplace
+//!   paths: the frozen [`NoiseBackend::Reference`] scalar sampler and the
+//!   vectorized-[`fast_ln`] [`NoiseBackend::FastLn`] sampler, each with its
+//!   own golden-release pins (see [`backend`] for the versioning policy).
 //!
 //! The `rand` crate supplies only the uniform bit stream; all distribution
 //! logic lives here so it can be tested against closed forms.
@@ -19,12 +23,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 mod geometric;
 mod laplace;
 mod poisson;
 mod seeds;
 mod zipf;
 
+pub use backend::{fast_ln, NoiseBackend, FAST_LN_MAX_ULP};
 pub use geometric::TwoSidedGeometric;
 pub use laplace::Laplace;
 pub use poisson::Poisson;

@@ -80,7 +80,7 @@ pub mod prelude {
         Epsilon, HierarchicalQuery, LaplaceMechanism, PreparedMechanism, PrivacyBudget,
         QuerySequence, SortedQuery, TreeShape, UnitQuery,
     };
-    pub use hc_noise::{rng_from_seed, Laplace, SeedStream};
+    pub use hc_noise::{rng_from_seed, Laplace, NoiseBackend, SeedStream};
 }
 
 #[cfg(test)]

@@ -1,0 +1,133 @@
+//! Backend-versioning contract tests (see `hc_noise::backend`): property
+//! tests that the `Reference` backend is frozen to the pre-backend sampler,
+//! that `FastLn` is a faithful Laplace sampler within its documented
+//! accuracy, and that the trial-parallel batch pipeline is bit-identical to
+//! serial for both backends at any fan-out. (`HC_THREADS` ∈ {1, 2, unset}
+//! is exercised end-to-end over real experiment binaries in
+//! `crates/bench/tests/hc_threads.rs`; here the fan-out is passed
+//! explicitly, which reaches the same code path `effective_threads` feeds.)
+
+use hist_consistency::noise::{fast_ln, FAST_LN_MAX_ULP};
+use hist_consistency::prelude::*;
+use proptest::prelude::*;
+use rand::Rng;
+
+/// The sampler exactly as it existed before the backend abstraction
+/// (PR 3's branchless inverse-CDF form). `NoiseBackend::Reference` pins
+/// itself to this, bit for bit, forever.
+fn pre_refactor_sample<R: Rng + ?Sized>(mu: f64, b: f64, rng: &mut R) -> f64 {
+    let u = 0.5 - rng.random::<f64>();
+    let magnitude = -b * (1.0 - 2.0 * u.abs()).ln();
+    mu + magnitude.copysign(u)
+}
+
+proptest! {
+    #[test]
+    fn reference_backend_is_bit_identical_to_the_pre_refactor_sampler(
+        seed in 0u64..1_000_000,
+        mu in -50.0f64..50.0,
+        scale in 0.01f64..100.0,
+        len in 1usize..300,
+    ) {
+        let d = Laplace::new(mu, scale).unwrap();
+        let mut via_backend = vec![0.0f64; len];
+        d.fill_with(NoiseBackend::Reference, &mut rng_from_seed(seed), &mut via_backend);
+        let mut rng = rng_from_seed(seed);
+        for (i, v) in via_backend.iter().enumerate() {
+            let old = pre_refactor_sample(mu, scale, &mut rng);
+            prop_assert!(
+                v.to_bits() == old.to_bits(),
+                "sample {i} drifted: {v:?} vs pre-refactor {old:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn fast_ln_is_within_documented_ulp_of_library_ln(
+        mantissa in 0u64..(1u64 << 52),
+        exponent in 1u64..2046,
+    ) {
+        // Arbitrary positive normal f64, assembled from its fields.
+        let x = f64::from_bits((exponent << 52) | mantissa);
+        let got = fast_ln(x);
+        let want = x.ln();
+        let ulp = (got.to_bits() as i64 - want.to_bits() as i64).unsigned_abs();
+        prop_assert!(
+            ulp <= FAST_LN_MAX_ULP,
+            "fast_ln({x:e}) = {got:e} vs ln = {want:e} ({ulp} ulp)"
+        );
+    }
+
+    #[test]
+    fn fast_backend_samples_track_reference_samples(
+        seed in 0u64..1_000_000,
+        scale in 0.01f64..100.0,
+    ) {
+        // Same uniforms, two ln implementations: per sample the backends
+        // agree to fast_ln's relative accuracy (so moments, tails, and
+        // everything downstream agree to far better than Monte-Carlo noise).
+        let d = Laplace::centered(scale).unwrap();
+        let n = 512;
+        let mut reference = vec![0.0f64; n];
+        let mut fast = vec![0.0f64; n];
+        d.fill(&mut rng_from_seed(seed), &mut reference);
+        d.fill_with(NoiseBackend::FastLn, &mut rng_from_seed(seed), &mut fast);
+        for (r, f) in reference.iter().zip(&fast) {
+            prop_assert!(r.signum() == f.signum());
+            prop_assert!((r - f).abs() <= 1e-12 * r.abs().max(1e-300), "{r} vs {f}");
+        }
+    }
+
+    #[test]
+    fn fast_backend_empirical_moments_are_sane(seed in 0u64..100_000) {
+        let d = Laplace::centered(3.0).unwrap();
+        let n = 20_000;
+        let mut samples = vec![0.0f64; n];
+        d.fill_with(NoiseBackend::FastLn, &mut rng_from_seed(seed), &mut samples);
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        // std of the mean is sqrt(2·9/20000) ≈ 0.03; allow ~6σ so the
+        // property holds across every generated seed.
+        prop_assert!(mean.abs() < 0.2, "mean = {mean}");
+        prop_assert!((var - d.variance()).abs() / d.variance() < 0.15, "var = {var}");
+    }
+
+    #[test]
+    fn batch_parallel_is_bit_identical_to_serial_for_both_backends(
+        master in 0u64..1_000_000,
+        trials in 1usize..9,
+        height in 2usize..7,
+        fast in proptest::prelude::any::<bool>(),
+    ) {
+        let backend = if fast { NoiseBackend::FastLn } else { NoiseBackend::Reference };
+        let n = 1usize << (height - 1);
+        let counts: Vec<u64> = (0..n as u64).map(|i| i % 7).collect();
+        let histogram = Histogram::from_counts(Domain::new("x", n).unwrap(), counts);
+        let shape = TreeShape::for_domain(n, 2);
+        let prepared = LaplaceMechanism::new(Epsilon::new(0.7).unwrap())
+            .with_backend(backend)
+            .prepare(HierarchicalQuery::binary(), n);
+        let mut engine = BatchInference::for_shape(&shape);
+        let seeds = SeedStream::new(master);
+        for rounded in [false, true] {
+            let (mut sn, mut so) = (Vec::new(), Vec::new());
+            engine.release_and_infer_batch(
+                &prepared, &histogram, seeds, trials, rounded, Some(&mut sn), &mut so,
+            );
+            for threads in [1usize, 2, 5] {
+                let (mut pn, mut po) = (Vec::new(), Vec::new());
+                engine.release_and_infer_batch_parallel(
+                    &prepared, &histogram, seeds, trials, rounded, threads, Some(&mut pn), &mut po,
+                );
+                prop_assert!(pn == sn, "noisy batch diverged (threads {threads})");
+                prop_assert!(po == so, "inferred batch diverged (threads {threads})");
+            }
+            // Skipping the noisy output must not change the inference.
+            let mut po = Vec::new();
+            engine.release_and_infer_batch_parallel(
+                &prepared, &histogram, seeds, trials, rounded, 3, None, &mut po,
+            );
+            prop_assert!(po == so, "inferred batch diverged without noisy output");
+        }
+    }
+}
