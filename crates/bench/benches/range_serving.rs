@@ -1,0 +1,143 @@
+//! Criterion bench: the read path — `ConsistentSnapshot` O(1) prefix
+//! serving vs the `SubtreeServer` decomposition fold, across range lengths.
+//!
+//! The acceptance shape: snapshot throughput (queries/s, reported via
+//! `Throughput::Elements`) must be flat in the range length — every answer
+//! is two prefix lookups — while the decomposition fold's cost tracks the
+//! tree height. The parallel group scales a large batch across cores
+//! (`HC_THREADS`-pinned in CI). Records land in `$BENCH_JSON` alongside the
+//! inference benches, so `bench_diff` gates serving throughput too.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hc_core::{BatchInference, ConsistentSnapshot, HierarchicalUniversal, Rounding, SubtreeServer};
+use hc_data::{Domain, Histogram, Interval, RangeWorkload};
+use hc_mech::{Epsilon, TreeShape};
+use hc_noise::rng_from_seed;
+use std::hint::black_box;
+
+/// Serving domain: 2^16 bins (height-17 binary tree) — large enough that a
+/// per-query subtree walk is visibly O(log n) while staying quick-mode
+/// friendly.
+const DOMAIN: usize = 1 << 16;
+
+/// Queries per batch; per-query time is the reported number via
+/// `Throughput::Elements`.
+const BATCH: usize = 1 << 10;
+
+/// Range lengths swept: the flat-in-length claim needs a short, a medium,
+/// and a near-domain length.
+const LENGTHS: [usize; 3] = [1 << 4, 1 << 10, 1 << 15];
+
+fn served_release() -> (TreeShape, Vec<f64>, Vec<f64>) {
+    let counts: Vec<u64> = (0..DOMAIN)
+        .map(|i| if i % 5 == 0 { (i % 17) as u64 } else { 0 })
+        .collect();
+    let histogram = Histogram::from_counts(Domain::new("x", DOMAIN).expect("non-empty"), counts);
+    let shape = TreeShape::for_domain(DOMAIN, 2);
+    let pipeline = HierarchicalUniversal::binary(Epsilon::new(0.1).expect("valid ε"));
+    let release = pipeline.release(&histogram, &mut rng_from_seed(17));
+    let mut engine = BatchInference::for_shape(&shape);
+    let mut hbar = Vec::new();
+    release.infer_into(&mut engine, &mut hbar);
+    (shape, release.noisy_values().to_vec(), hbar)
+}
+
+fn query_batch(len: usize, count: usize) -> Vec<Interval> {
+    let workload = RangeWorkload::new(DOMAIN, len);
+    workload.sample_many(&mut rng_from_seed(23), count)
+}
+
+/// O(1) prefix serving: per-query cost must be flat across range lengths.
+fn bench_snapshot(c: &mut Criterion) {
+    let (shape, _, hbar) = served_release();
+    let snapshot = ConsistentSnapshot::from_tree_values(&shape, &hbar, DOMAIN);
+    let mut group = c.benchmark_group("range_serving_snapshot");
+    for &len in &LENGTHS {
+        let queries = query_batch(len, BATCH);
+        let mut out = Vec::new();
+        snapshot.answer_into(&queries, &mut out); // warm the answer buffer
+        group.throughput(Throughput::Elements(BATCH as u64));
+        group.bench_with_input(BenchmarkId::new("len", len), &queries, |b, queries| {
+            b.iter(|| {
+                snapshot.answer_into(black_box(queries), &mut out);
+                black_box(out[0])
+            });
+        });
+    }
+    group.finish();
+}
+
+/// The decomposition fold (H̃-style serving): O(log n) per query, the
+/// comparison point that shows what the snapshot buys.
+fn bench_subtree_fold(c: &mut Criterion) {
+    let (shape, noisy, _) = served_release();
+    let server = SubtreeServer::new(&shape);
+    let mut group = c.benchmark_group("range_serving_subtree");
+    for &len in &LENGTHS {
+        let queries = query_batch(len, BATCH);
+        let mut out = Vec::new();
+        group.throughput(Throughput::Elements(BATCH as u64));
+        group.bench_with_input(BenchmarkId::new("len", len), &queries, |b, queries| {
+            b.iter(|| {
+                server.answer_into(&noisy, Rounding::None, black_box(queries), &mut out);
+                black_box(out[0])
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Snapshot serving scaled across cores for a large batch (the query-flood
+/// shape); bit-identical to serial, throughput is the point.
+fn bench_snapshot_parallel(c: &mut Criterion) {
+    let (shape, _, hbar) = served_release();
+    let snapshot = ConsistentSnapshot::from_tree_values(&shape, &hbar, DOMAIN);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let big_batch = 1usize << 14;
+    let queries = query_batch(1 << 10, big_batch);
+    let mut out = Vec::new();
+    let mut group = c.benchmark_group("range_serving_parallel");
+    group.throughput(Throughput::Elements(big_batch as u64));
+    group.bench_with_input(
+        BenchmarkId::new("queries", big_batch),
+        &queries,
+        |b, queries| {
+            b.iter(|| {
+                snapshot.answer_parallel(black_box(queries), &mut out, threads);
+                black_box(out[0])
+            });
+        },
+    );
+    group.finish();
+}
+
+/// One snapshot rebuild from a full tree vector — the per-trial cost the
+/// experiment scoring loops pay before serving thousands of queries.
+fn bench_snapshot_rebuild(c: &mut Criterion) {
+    let (shape, _, hbar) = served_release();
+    let mut snapshot = ConsistentSnapshot::from_tree_values(&shape, &hbar, DOMAIN);
+    let mut group = c.benchmark_group("range_serving_rebuild");
+    group.throughput(Throughput::Elements(shape.leaves() as u64));
+    group.bench_with_input(
+        BenchmarkId::new("leaves", shape.leaves()),
+        &hbar,
+        |b, hbar| {
+            b.iter(|| {
+                snapshot.rebuild_from_tree_values(&shape, black_box(hbar), DOMAIN);
+                black_box(snapshot.total())
+            });
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_snapshot,
+    bench_subtree_fold,
+    bench_snapshot_parallel,
+    bench_snapshot_rebuild
+);
+criterion_main!(benches);

@@ -2,7 +2,11 @@
 //!
 //! The vendored criterion harness appends one JSON line per benchmark
 //! (`{"label": ..., "ns_per_iter": ..., ...}`) to the file named by
-//! `BENCH_JSON`; CI uploads that record as an artifact. This tool compares a
+//! `BENCH_JSON`; CI uploads that record as an artifact. Since the
+//! min-of-N-windows change, `ns_per_iter` is the **minimum** time/iteration
+//! over several independent measurement windows — a lower-envelope estimate
+//! that cuts gate flicker on shared runners (the JSON schema is unchanged,
+//! so older single-window baselines still compare). This tool compares a
 //! fresh record against a baseline record label by label, prints the
 //! comparison as a table, and exits non-zero when any shared label's
 //! `ns_per_iter` regressed by more than the threshold (default 10%) — so a

@@ -1,8 +1,11 @@
 //! Ablation (Secs. 4.2 & 5.2): the non-negativity subtree-zeroing step.
 //! On sparse data it is the reason `H̄` can beat `L̃` even at unit ranges.
 
-use hc_core::{BatchInference, FlatRelease, FlatUniversal, HierarchicalUniversal, Rounding};
-use hc_data::RangeWorkload;
+use hc_core::{
+    BatchInference, ConsistentSnapshot, FlatRelease, FlatUniversal, HierarchicalUniversal,
+    Rounding, SubtreeServer,
+};
+use hc_data::{Interval, RangeWorkload};
 use hc_mech::Epsilon;
 use hc_mech::TreeShape;
 use hc_noise::SeedStream;
@@ -43,12 +46,21 @@ pub fn compute(cfg: RunConfig) -> Vec<NonNegPoint> {
     // engine's trial-parallel batch in fixed waves; each wave is then scored
     // by a second trial-parallel pass whose workers derive the ablated
     // variant (zeroing + rounding over a copy of the raw inference), release
-    // L̃, and sample ranges. Worker state is reused within a wave (nothing
-    // allocates per *trial*); each wave spins up fresh workers, so the
-    // per-worker buffers are re-grown once per wave — bounded by
-    // waves × workers, negligible against the per-trial query work.
+    // L̃, and sample ranges. Scoring goes through the serving layer: truth
+    // from a run-wide `ConsistentSnapshot` of the true counts, L̃ from the
+    // release's fused prefix arrays, the raw (exactly consistent) inference
+    // from a per-worker snapshot rebuilt per trial, and the zeroed/rounded
+    // variant — only approximately consistent — from a shared
+    // `SubtreeServer` decomposition fold. Worker state is reused within a
+    // wave (nothing allocates per *trial*); each wave spins up fresh
+    // workers, so the per-worker buffers are re-grown once per wave —
+    // bounded by waves × workers, negligible against the per-trial query
+    // work.
     let shape = TreeShape::for_domain(n, 2);
     let nodes = shape.nodes();
+    let workloads: Vec<RangeWorkload> = sizes.iter().map(|&s| RangeWorkload::new(n, s)).collect();
+    let truth_snapshot = ConsistentSnapshot::from_histogram(&histogram);
+    let server = SubtreeServer::new(&shape);
     let prepared = tree_pipeline.prepare(n);
     let mut pipeline_engine = BatchInference::for_shape(&shape);
     let noise_seeds = seeds.substream(2);
@@ -57,9 +69,13 @@ pub fn compute(cfg: RunConfig) -> Vec<NonNegPoint> {
     let eps_flat = eps;
     struct TrialState {
         flat: FlatRelease,
-        raw_prefix: Vec<f64>,
+        raw_snapshot: ConsistentSnapshot,
         nonneg: Vec<f64>,
-        decomp: Vec<usize>,
+        queries: Vec<Interval>,
+        truth: Vec<f64>,
+        flat_ans: Vec<f64>,
+        raw_ans: Vec<f64>,
+        nonneg_ans: Vec<f64>,
     }
     let mut per_trial: Vec<Vec<(f64, f64, f64)>> = Vec::with_capacity(cfg.trials);
     super::for_each_wave(cfg.trials, super::fig6::PIPELINE_WAVE, |start, wave| {
@@ -77,39 +93,53 @@ pub fn compute(cfg: RunConfig) -> Vec<NonNegPoint> {
         // The engine's own compiled tables drive the workers' zero/round
         // sweep — no shadow LevelTree to drift from them.
         let tree = pipeline_engine.tree();
+        let (truth_snapshot, server, workloads, shape) =
+            (&truth_snapshot, &server, &workloads, &shape);
         per_trial.extend(crate::runner::run_trials_with(
             wave,
             aux_seeds.substream(start as u64),
             || TrialState {
                 flat: FlatRelease::from_noisy(eps_flat, vec![0.0; n]),
-                raw_prefix: Vec::new(),
+                raw_snapshot: ConsistentSnapshot::from_leaves(&[], 0),
                 nonneg: Vec::new(),
-                decomp: Vec::new(),
+                queries: Vec::new(),
+                truth: Vec::new(),
+                flat_ans: Vec::new(),
+                raw_ans: Vec::new(),
+                nonneg_ans: Vec::new(),
             },
             |t, mut rng, st| {
                 let raw = &raw_batch[t * nodes..(t + 1) * nodes];
                 flat_pipeline.release_into(&histogram, &mut rng, &mut st.flat);
-                // Leaf prefix sums reproduce ConsistentTree::range_query
-                // exactly.
-                super::leaf_prefix_into(&shape, raw, &mut st.raw_prefix);
+                // The raw inference is exactly consistent, so O(1) prefix
+                // serving reproduces ConsistentTree::range_query exactly.
+                st.raw_snapshot.rebuild_from_tree_values(shape, raw, n);
                 st.nonneg.clear();
                 st.nonneg.extend_from_slice(raw);
                 tree.zero_round_in_place(&mut st.nonneg);
-                sizes
+                workloads
                     .iter()
-                    .map(|&size| {
-                        let workload = RangeWorkload::new(n, size);
+                    .map(|workload| {
+                        workload.sample_into(&mut rng, queries, &mut st.queries);
+                        truth_snapshot.answer_into(&st.queries, &mut st.truth);
+                        st.flat.answer_into(
+                            Rounding::NonNegativeInteger,
+                            &st.queries,
+                            &mut st.flat_ans,
+                        );
+                        st.raw_snapshot.answer_into(&st.queries, &mut st.raw_ans);
+                        server.answer_into(
+                            &st.nonneg,
+                            Rounding::None,
+                            &st.queries,
+                            &mut st.nonneg_ans,
+                        );
                         let (mut fe, mut re, mut ne) = (0.0, 0.0, 0.0);
-                        for _ in 0..queries {
-                            let q = workload.sample(&mut rng);
-                            let truth = histogram.range_count(q) as f64;
-                            fe += (st.flat.range_query(q, Rounding::NonNegativeInteger) - truth)
-                                .powi(2);
-                            let raw_answer = super::prefix_range_sum(&st.raw_prefix, q);
-                            re += (raw_answer - truth).powi(2);
-                            shape.subtree_decomposition_into(q, &mut st.decomp);
-                            let nn_answer = super::decomposition_sum(&st.nonneg, &st.decomp);
-                            ne += (nn_answer - truth).powi(2);
+                        for j in 0..st.queries.len() {
+                            let truth = st.truth[j];
+                            fe += (st.flat_ans[j] - truth).powi(2);
+                            re += (st.raw_ans[j] - truth).powi(2);
+                            ne += (st.nonneg_ans[j] - truth).powi(2);
                         }
                         let scale = queries as f64;
                         (fe / scale, re / scale, ne / scale)

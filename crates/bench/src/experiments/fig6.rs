@@ -1,8 +1,11 @@
 //! Fig. 6: universal histograms — range-query error vs range size for `L̃`,
 //! `H̃`, and `H̄` on NetTrace and Search Logs across ε.
 
-use hc_core::{BatchInference, FlatRelease, FlatUniversal, HierarchicalUniversal, Rounding};
-use hc_data::{dyadic_sizes, RangeWorkload};
+use hc_core::{
+    BatchInference, ConsistentSnapshot, FlatRelease, FlatUniversal, HierarchicalUniversal,
+    Rounding, SubtreeServer,
+};
+use hc_data::{dyadic_sizes, Interval, RangeWorkload};
 use hc_mech::{Epsilon, TreeShape};
 use hc_noise::SeedStream;
 use rand::Rng;
@@ -75,13 +78,24 @@ pub fn compute_curve(
     // Theorem-3 passes, Sec. 4.2 zeroing + rounding — runs through the
     // engine's trial-parallel batch pipeline in fixed-size waves: one fused
     // pass per trial produces the noisy release (H̃'s input) and the
-    // zeroed/rounded inferred tree (H̄'s) side by side. Each wave's batches
-    // are then scored by a second trial-parallel pass that releases L̃ and
-    // samples the random ranges (its own seed substream — noise and query
-    // randomness are decoupled). Workers carry one reusable state each:
+    // zeroed/rounded inferred tree (H̄'s) side by side, written straight
+    // into the batch buffers (no per-trial scratch copy). Each wave's
+    // batches are then scored by a second trial-parallel pass that releases
+    // L̃ and samples the random ranges (its own seed substream — noise and
+    // query randomness are decoupled). Scoring goes through the serving
+    // layer: each trial samples a query batch per size, truth comes from a
+    // curve-wide `ConsistentSnapshot` of the true counts (O(1) per query,
+    // exact — integer prefix sums), L̃ answers from the release's fused
+    // prefix arrays, and the two tree estimators from a shared
+    // `SubtreeServer` (the zeroed/rounded H̄ is only approximately
+    // consistent, so the subtree decomposition — folded in place — stays
+    // its defined semantics). Workers carry one reusable state each:
     // nothing allocates per *trial*; the per-worker buffers are re-grown
     // once per wave (waves × workers total), negligible against the
     // thousands of range queries each trial answers.
+    let workloads: Vec<RangeWorkload> = sizes.iter().map(|&s| RangeWorkload::new(n, s)).collect();
+    let truth_snapshot = ConsistentSnapshot::from_histogram(&histogram);
+    let server = SubtreeServer::new(&shape);
     let prepared = tree_pipeline.prepare(n);
     let mut pipeline_engine = BatchInference::for_shape(&shape);
     let nodes = shape.nodes();
@@ -90,7 +104,11 @@ pub fn compute_curve(
     let (mut noisy_batch, mut hbar_batch) = (Vec::new(), Vec::new());
     struct TrialState {
         flat: FlatRelease,
-        decomp: Vec<usize>,
+        queries: Vec<Interval>,
+        truth: Vec<f64>,
+        flat_ans: Vec<f64>,
+        subtree_ans: Vec<f64>,
+        inferred_ans: Vec<f64>,
     }
     let mut per_trial: Vec<Vec<(f64, f64, f64)>> = Vec::with_capacity(cfg.trials);
     super::for_each_wave(cfg.trials, PIPELINE_WAVE, |start, wave| {
@@ -106,35 +124,47 @@ pub fn compute_curve(
         );
         let noisy_batch = &noisy_batch;
         let hbar_batch = &hbar_batch;
+        let (truth_snapshot, server, workloads) = (&truth_snapshot, &server, &workloads);
         per_trial.extend(crate::runner::run_trials_with(
             wave,
             aux_seeds.substream(start as u64),
             || TrialState {
                 flat: FlatRelease::from_noisy(eps, vec![0.0; n]),
-                decomp: Vec::new(),
+                queries: Vec::new(),
+                truth: Vec::new(),
+                flat_ans: Vec::new(),
+                subtree_ans: Vec::new(),
+                inferred_ans: Vec::new(),
             },
             |t, mut rng, st| {
                 let noisy = &noisy_batch[t * nodes..(t + 1) * nodes];
                 let hbar = &hbar_batch[t * nodes..(t + 1) * nodes];
                 flat_pipeline.release_into(&histogram, &mut rng, &mut st.flat);
-                let mut sums = Vec::with_capacity(sizes.len());
-                for &size in &sizes {
-                    let workload = RangeWorkload::new(n, size);
+                let mut sums = Vec::with_capacity(workloads.len());
+                for workload in workloads {
+                    workload.sample_into(&mut rng, queries_per_size, &mut st.queries);
+                    truth_snapshot.answer_into(&st.queries, &mut st.truth);
+                    st.flat.answer_into(
+                        Rounding::NonNegativeInteger,
+                        &st.queries,
+                        &mut st.flat_ans,
+                    );
+                    // H̃ sums the rounded noisy nodes, H̄ the zeroed/rounded
+                    // inferred nodes — same node set, same summation order
+                    // as the per-estimator query paths.
+                    server.answer_into(
+                        noisy,
+                        Rounding::NonNegativeInteger,
+                        &st.queries,
+                        &mut st.subtree_ans,
+                    );
+                    server.answer_into(hbar, Rounding::None, &st.queries, &mut st.inferred_ans);
                     let (mut fe, mut se, mut ie) = (0.0, 0.0, 0.0);
-                    for _ in 0..queries_per_size {
-                        let q = workload.sample(&mut rng);
-                        let truth = histogram.range_count(q) as f64;
-                        let f = st.flat.range_query(q, Rounding::NonNegativeInteger);
-                        // One decomposition serves both tree estimators: H̃
-                        // sums the rounded noisy nodes, H̄ the zeroed/rounded
-                        // inferred nodes — same node set, same summation
-                        // order as the per-estimator query paths.
-                        shape.subtree_decomposition_into(q, &mut st.decomp);
-                        let mut s = 0.0;
-                        for &v in &st.decomp {
-                            s += Rounding::NonNegativeInteger.apply(noisy[v]);
-                        }
-                        let i = super::decomposition_sum(hbar, &st.decomp);
+                    for j in 0..st.queries.len() {
+                        let truth = st.truth[j];
+                        let f = st.flat_ans[j];
+                        let s = st.subtree_ans[j];
+                        let i = st.inferred_ans[j];
                         fe += (f - truth) * (f - truth);
                         se += (s - truth) * (s - truth);
                         ie += (i - truth) * (i - truth);

@@ -1,41 +1,14 @@
 //! One module per paper artifact. Every `run` function returns the rendered
 //! report so integration tests can execute experiments in quick mode and
 //! assert on the claims.
-
-use hc_mech::TreeShape;
-
-/// Rebuilds leaf prefix sums over a flat node vector into a reusable buffer
-/// — the exact construction (`prefix[i+1] = prefix[i] + leaf[i]`, all
-/// leaves, padding included) of `ConsistentTree::new`, so range queries via
-/// [`prefix_range_sum`] reproduce `ConsistentTree::range_query` bit for bit.
-/// Shared by the trial loops that answer queries straight from engine
-/// buffers instead of allocating estimator types per trial.
-pub(crate) fn leaf_prefix_into(shape: &TreeShape, values: &[f64], prefix: &mut Vec<f64>) {
-    let first_leaf = shape.first_leaf();
-    prefix.clear();
-    prefix.push(0.0);
-    for (i, &leaf) in values[first_leaf..].iter().enumerate() {
-        let prev = prefix[i];
-        prefix.push(prev + leaf);
-    }
-}
-
-/// `c([lo, hi])` from leaf prefix sums — `ConsistentTree::range_query`'s
-/// arithmetic.
-pub(crate) fn prefix_range_sum(prefix: &[f64], q: hc_data::Interval) -> f64 {
-    prefix[q.hi() + 1] - prefix[q.lo()]
-}
-
-/// Sums `values` over a subtree decomposition in node order — the summation
-/// of `RoundedTree::range_query` / `range_query_subtree` (fold from 0.0 in
-/// decomposition order), over whichever value vector the caller passes.
-pub(crate) fn decomposition_sum(values: &[f64], decomposition: &[usize]) -> f64 {
-    let mut total = 0.0;
-    for &v in decomposition {
-        total += values[v];
-    }
-    total
-}
+//!
+//! Range-query scoring goes through `hc_core::snapshot`'s serving layer:
+//! `ConsistentSnapshot` (O(1) prefix lookups, bit-identical to the retired
+//! local `leaf_prefix_into`/`prefix_range_sum` helpers) for exactly
+//! consistent estimates and true counts, and `SubtreeServer` (in-place
+//! decomposition folds, bit-identical to materializing
+//! `TreeShape::subtree_decomposition` and summing) for the `H̃`-style and
+//! zeroed/rounded estimators.
 
 /// Drives `trials` in fixed-size waves: `body(start, wave)` runs once per
 /// wave with the global index of its first trial and its length. One

@@ -2,7 +2,9 @@
 //! `(2(ℓ−1)(k−1) − k)/3` — a factor of 9.33 in the paper's height-16
 //! binary tree.
 
-use hc_core::{theory, BatchInference, HierarchicalUniversal};
+use hc_core::{
+    theory, BatchInference, ConsistentSnapshot, HierarchicalUniversal, Rounding, SubtreeServer,
+};
 use hc_data::{Domain, Histogram};
 use hc_mech::{Epsilon, TreeShape};
 use hc_noise::SeedStream;
@@ -45,16 +47,18 @@ pub fn compute_at_height(cfg: RunConfig, height: usize) -> Thm4Outcome {
     let trials = cfg.trials.max(if cfg.quick { 30 } else { 200 });
     // The whole release→inference pipeline runs trial-parallel through the
     // engine batch in fixed waves (no rounding: Theorem 4 is about the
-    // linear estimators themselves); scoring each trial is two range sums,
-    // done inline over the wave's batch slices.
+    // linear estimators themselves); scoring each trial is two range
+    // answers served over the wave's batch slices: H̃ through the
+    // `SubtreeServer`'s in-place decomposition fold, H̄ through a
+    // `ConsistentSnapshot` rebuilt per trial (the raw inference is exactly
+    // consistent, so O(1) prefix serving reproduces
+    // ConsistentTree::range_query exactly).
     let prepared = pipeline.prepare(n);
     let mut engine = BatchInference::for_shape(&shape);
     let nodes = shape.nodes();
     let (mut noisy_batch, mut hbar_batch) = (Vec::new(), Vec::new());
-    // One fixed query ⇒ one decomposition, shared by every trial.
-    let mut decomp = Vec::new();
-    shape.subtree_decomposition_into(q, &mut decomp);
-    let mut prefix = Vec::new();
+    let server = SubtreeServer::new(&shape);
+    let mut snapshot = ConsistentSnapshot::from_leaves(&[], 0);
     let mut subtree = Vec::with_capacity(trials);
     let mut inferred = Vec::with_capacity(trials);
     super::for_each_wave(trials, super::fig6::PIPELINE_WAVE, |start, wave| {
@@ -71,10 +75,9 @@ pub fn compute_at_height(cfg: RunConfig, height: usize) -> Thm4Outcome {
         for t in 0..wave {
             let noisy = &noisy_batch[t * nodes..(t + 1) * nodes];
             let hbar = &hbar_batch[t * nodes..(t + 1) * nodes];
-            let s = super::decomposition_sum(noisy, &decomp);
-            // Leaf prefix sums reproduce ConsistentTree::range_query exactly.
-            super::leaf_prefix_into(&shape, hbar, &mut prefix);
-            let i = super::prefix_range_sum(&prefix, q);
+            let s = server.answer(noisy, Rounding::None, q);
+            snapshot.rebuild_from_tree_values(&shape, hbar, n);
+            let i = snapshot.answer(q);
             subtree.push((s - truth) * (s - truth));
             inferred.push((i - truth) * (i - truth));
         }

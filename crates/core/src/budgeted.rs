@@ -201,18 +201,20 @@ impl BudgetedTreeRelease {
         &self.level_variances
     }
 
-    /// Raw subtree-sum range query (the `H̃` analogue).
+    /// Raw subtree-sum range query (the `H̃` analogue), folded in place
+    /// through [`crate::snapshot::SubtreeServer`] — bit-identical to
+    /// materializing the decomposition, no per-query allocation.
     pub fn range_query_subtree(&self, interval: Interval) -> f64 {
         assert!(
             interval.hi() < self.domain_size,
             "query {interval} outside domain of size {}",
             self.domain_size
         );
-        self.shape
-            .subtree_decomposition(interval)
-            .into_iter()
-            .map(|v| self.noisy[v])
-            .sum()
+        crate::snapshot::SubtreeServer::new(&self.shape).answer(
+            &self.noisy,
+            crate::universal::Rounding::None,
+            interval,
+        )
     }
 
     /// GLS constrained inference (the `H̄` analogue, weighted).

@@ -583,8 +583,11 @@ impl LevelTree {
     /// noise through the preparation's backend with the draws interleaved
     /// into the upward slabs, run the top-down pass (optionally with the
     /// Sec. 4.2 zeroing + Sec. 5.2 rounding fused in) — against caller-owned
-    /// buffers. `noisy` and `z` are scratch (resized to `nodes()`, reusable
-    /// across trials); `out` must already have length `nodes()`.
+    /// buffers. `noisy` must already have length `nodes()` (every slot is
+    /// assigned, so it can be one trial's segment of a shared batch buffer
+    /// — the batch pipelines release **in place** instead of copying from
+    /// scratch); `z` is scratch (resized to `nodes()`, reusable across
+    /// trials); `out` must already have length `nodes()`.
     ///
     /// This is the per-trial core shared by every `release_and_infer*`
     /// entry point, including the trial-parallel batch — so "bit-identical
@@ -597,11 +600,12 @@ impl LevelTree {
         histogram: &Histogram,
         rng: &mut R,
         rounded: bool,
-        noisy: &mut Vec<f64>,
+        noisy: &mut [f64],
         z: &mut Vec<f64>,
         out: &mut [f64],
     ) {
         let n = self.nodes();
+        assert_eq!(noisy.len(), n, "noisy slice must cover the tree");
         assert!(
             self.is_uniform(),
             "engine is compiled with per-level GLS weights; recompile with \
@@ -627,7 +631,7 @@ impl LevelTree {
              hierarchical release over this engine's shape"
         );
         assert_eq!(out.len(), n, "output slice must cover the tree");
-        prepared.query().evaluate_into(histogram, noisy);
+        prepared.query().evaluate_into_slice(histogram, noisy);
         z.resize(n, 0.0);
         self.noised_upward(&prepared.noise(), prepared.backend(), rng, noisy, z);
         if rounded {
@@ -1194,7 +1198,9 @@ impl BatchInference {
     ) {
         let mut noisy = std::mem::take(&mut self.noisy);
         let mut z = std::mem::take(&mut self.z);
-        out.resize(self.tree.nodes(), 0.0);
+        let n = self.tree.nodes();
+        noisy.resize(n, 0.0);
+        out.resize(n, 0.0);
         self.tree
             .fused_trial(prepared, histogram, rng, rounded, &mut noisy, &mut z, out);
         self.noisy = noisy;
@@ -1233,14 +1239,18 @@ impl BatchInference {
         out_batch.resize(trials * n, 0.0);
         let mut noisy = std::mem::take(&mut self.noisy);
         let mut z = std::mem::take(&mut self.z);
+        noisy.resize(n, 0.0);
         for (t, out_chunk) in out_batch.chunks_exact_mut(n).enumerate() {
             let mut rng = seeds.rng(t as u64);
+            // With a noisy batch the release is written in place — each
+            // trial's segment *is* the working buffer, no scratch copy.
+            let noisy_slot: &mut [f64] = match noisy_batch.as_deref_mut() {
+                Some(nb) => &mut nb[t * n..(t + 1) * n],
+                None => &mut noisy,
+            };
             self.tree.fused_trial(
-                prepared, histogram, &mut rng, rounded, &mut noisy, &mut z, out_chunk,
+                prepared, histogram, &mut rng, rounded, noisy_slot, &mut z, out_chunk,
             );
-            if let Some(nb) = noisy_batch.as_deref_mut() {
-                nb[t * n..(t + 1) * n].copy_from_slice(&noisy);
-            }
         }
         self.noisy = noisy;
         self.z = z;
@@ -1309,6 +1319,8 @@ impl BatchInference {
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(move || {
+                    // Scratch only materializes when a trial has no batch
+                    // segment to release into (noisy_batch = None).
                     let mut noisy = Vec::new();
                     let mut z = Vec::new();
                     loop {
@@ -1322,12 +1334,19 @@ impl BatchInference {
                             .take()
                             .expect("each trial claimed exactly once");
                         let mut rng = seeds.rng(t as u64);
+                        // The trial's batch segment doubles as the working
+                        // noisy buffer — the release is written in place,
+                        // retiring the old per-trial scratch→batch memcpy.
+                        let noisy_slot: &mut [f64] = match noisy_chunk {
+                            Some(chunk) => chunk,
+                            None => {
+                                noisy.resize(n, 0.0);
+                                &mut noisy
+                            }
+                        };
                         tree.fused_trial(
-                            prepared, histogram, &mut rng, rounded, &mut noisy, &mut z, out_chunk,
+                            prepared, histogram, &mut rng, rounded, noisy_slot, &mut z, out_chunk,
                         );
-                        if let Some(noisy_chunk) = noisy_chunk {
-                            noisy_chunk.copy_from_slice(&noisy);
-                        }
                     }
                 });
             }

@@ -19,6 +19,8 @@
 use hc_data::Interval;
 use hc_mech::TreeShape;
 
+use crate::snapshot::{ConsistentSnapshot, LazySnapshot};
+
 /// Computes the bottom-up `z` estimates of Sec. 4.1.
 fn compute_z(shape: &TreeShape, noisy: &[f64]) -> Vec<f64> {
     assert_eq!(
@@ -96,13 +98,19 @@ pub fn enforce_nonnegativity(shape: &TreeShape, values: &[f64]) -> Vec<f64> {
 
 /// A consistent tree estimate supporting O(1) range queries via leaf prefix
 /// sums — the query interface of the `H̄` estimator.
+///
+/// Queries are served through a lazily built
+/// [`ConsistentSnapshot`]: construction stores only the node values, and the
+/// prefix array is built once on the first range query (thread-safe), with
+/// the exact arithmetic the eager construction historically used — query
+/// answers are bit-identical.
 #[derive(Debug, Clone)]
 pub struct ConsistentTree {
     shape: TreeShape,
     values: Vec<f64>,
     domain_size: usize,
-    /// `leaf_prefix[i]` = sum of the first `i` leaf values.
-    leaf_prefix: Vec<f64>,
+    /// Built on first use by [`Self::snapshot`].
+    snapshot: LazySnapshot,
 }
 
 impl ConsistentTree {
@@ -116,18 +124,20 @@ impl ConsistentTree {
             domain_size <= shape.leaves(),
             "domain larger than leaf level"
         );
-        let first_leaf = shape.leaf_node(0);
-        let mut leaf_prefix = Vec::with_capacity(shape.leaves() + 1);
-        leaf_prefix.push(0.0);
-        for i in 0..shape.leaves() {
-            leaf_prefix.push(leaf_prefix[i] + values[first_leaf + i]);
-        }
         Self {
             shape,
             values,
             domain_size,
-            leaf_prefix,
+            snapshot: LazySnapshot::new(),
         }
+    }
+
+    /// The prefix-summed serving view over this tree's leaves, built on
+    /// first use and shared by every subsequent query.
+    pub fn snapshot(&self) -> &ConsistentSnapshot {
+        self.snapshot.get_or_init(|| {
+            ConsistentSnapshot::from_tree_values(&self.shape, &self.values, self.domain_size)
+        })
     }
 
     /// The tree geometry.
@@ -152,14 +162,10 @@ impl ConsistentTree {
         &self.values[first..first + self.domain_size]
     }
 
-    /// Answers the range count `c([lo, hi])` by prefix-sum difference.
+    /// Answers the range count `c([lo, hi])` by prefix-sum difference —
+    /// two O(1) lookups into the lazily built [`Self::snapshot`].
     pub fn range_query(&self, interval: Interval) -> f64 {
-        assert!(
-            interval.hi() < self.domain_size,
-            "query {interval} outside domain of size {}",
-            self.domain_size
-        );
-        self.leaf_prefix[interval.hi() + 1] - self.leaf_prefix[interval.lo()]
+        self.snapshot().answer(interval)
     }
 
     /// Maximum violation of the parent-sum constraints, for diagnostics and

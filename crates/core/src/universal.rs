@@ -22,6 +22,7 @@ use rand::Rng;
 
 use crate::engine::{BatchInference, LevelTree};
 use crate::hier::ConsistentTree;
+use crate::snapshot::{answer_prefix_into, ConsistentSnapshot, SubtreeServer};
 
 /// Post-processing policy applied to released counts before answering
 /// queries (Sec. 5.2's protocol).
@@ -198,6 +199,32 @@ impl FlatRelease {
         };
         prefix[interval.hi() + 1] - prefix[interval.lo()]
     }
+
+    /// Batched [`Self::range_query`] into a caller-owned buffer (resized to
+    /// the batch length; zero allocations after warm-up) — the serving-loop
+    /// form, answering straight from the release's fused prefix arrays.
+    pub fn answer_into(&self, rounding: Rounding, queries: &[Interval], out: &mut Vec<f64>) {
+        let prefix = match rounding {
+            Rounding::None => &self.prefix_raw,
+            Rounding::NonNegativeInteger => &self.prefix_rounded,
+        };
+        out.resize(queries.len(), 0.0);
+        answer_prefix_into(prefix, self.noisy.len(), queries, out);
+    }
+
+    /// An owned [`ConsistentSnapshot`] over this release's (optionally
+    /// rounded) unit counts — built by *copying the already-fused prefix
+    /// array*, no per-leaf recomputation. The snapshot carries the release's
+    /// per-count Laplace scale `b = 1/ε` (unit queries have sensitivity 1),
+    /// so served answers can attach exact confidence intervals.
+    pub fn snapshot(&self, rounding: Rounding) -> ConsistentSnapshot {
+        let prefix = match rounding {
+            Rounding::None => &self.prefix_raw,
+            Rounding::NonNegativeInteger => &self.prefix_rounded,
+        };
+        ConsistentSnapshot::from_prefix(prefix.clone(), self.noisy.len())
+            .with_noise_scale(1.0 / self.epsilon.value())
+    }
 }
 
 /// The hierarchical strategy: releases the `H` tree and derives `H̃` / `H̄`.
@@ -353,17 +380,30 @@ impl TreeRelease {
 
     /// `H̃`'s range query: sum the fewest noisy subtree counts whose spans
     /// tile the range (Sec. 4.2's "natural strategy").
+    ///
+    /// Served through [`SubtreeServer`]: the decomposition is folded in
+    /// place (same node order, same summation order — bit-identical to
+    /// materializing it) with no per-query allocation.
     pub fn range_query_subtree(&self, interval: Interval, rounding: Rounding) -> f64 {
         assert!(
             interval.hi() < self.domain_size,
             "query {interval} outside domain of size {}",
             self.domain_size
         );
-        self.shape
-            .subtree_decomposition(interval)
-            .into_iter()
-            .map(|v| rounding.apply(self.noisy[v]))
-            .sum()
+        SubtreeServer::new(&self.shape).answer(&self.noisy, rounding, interval)
+    }
+
+    /// An owned [`ConsistentSnapshot`] of the Theorem-3 inference — the
+    /// engine-output plumbing for serving loops: infer through a
+    /// caller-owned [`BatchInference`] (scratch reuse, recompile only on
+    /// shape change) straight into a prefix-summed view, skipping the
+    /// [`ConsistentTree`] wrapper. The snapshot carries the release's
+    /// per-node Laplace scale for confidence intervals.
+    pub fn infer_snapshot(&self, engine: &mut BatchInference) -> ConsistentSnapshot {
+        engine.ensure_shape(&self.shape);
+        let h = engine.infer(&self.noisy);
+        ConsistentSnapshot::from_tree_values(&self.shape, &h, self.domain_size)
+            .with_noise_scale(self.shape.height() as f64 / self.epsilon.value())
     }
 
     /// `H̄`: the exact Theorem 3 minimum-L2 consistent tree (no rounding).
@@ -471,18 +511,23 @@ impl RoundedTree {
     }
 
     /// Answers `c([lo, hi])` by summing the minimal subtree decomposition of
-    /// the zeroed, rounded node values.
+    /// the zeroed, rounded node values — folded in place through
+    /// [`SubtreeServer`] (bit-identical to materializing the decomposition,
+    /// no per-query allocation).
     pub fn range_query(&self, interval: Interval) -> f64 {
         assert!(
             interval.hi() < self.domain_size,
             "query {interval} outside domain of size {}",
             self.domain_size
         );
-        self.shape
-            .subtree_decomposition(interval)
-            .into_iter()
-            .map(|v| self.values[v])
-            .sum()
+        SubtreeServer::new(&self.shape).answer(&self.values, Rounding::None, interval)
+    }
+
+    /// A reusable decomposition server over this tree's geometry, for
+    /// callers answering many queries (amortizes nothing heap-side —
+    /// `TreeShape` is heap-free — but keeps the serving intent explicit).
+    pub fn server(&self) -> SubtreeServer {
+        SubtreeServer::new(&self.shape)
     }
 }
 

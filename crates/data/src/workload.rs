@@ -43,6 +43,32 @@ impl RangeWorkload {
         self.range_size
     }
 
+    /// The domain the ranges live in.
+    #[inline]
+    pub fn domain_size(&self) -> usize {
+        self.domain_size
+    }
+
+    /// Number of distinct range locations (`domain − size + 1`).
+    #[inline]
+    pub fn positions(&self) -> usize {
+        self.domain_size - self.range_size + 1
+    }
+
+    /// The range anchored at location `lo` — deterministic workload
+    /// iteration for planners and exhaustive sweeps.
+    #[inline]
+    pub fn interval_at(&self, lo: usize) -> Interval {
+        assert!(lo < self.positions(), "location {lo} out of range");
+        Interval::new(lo, lo + self.range_size - 1)
+    }
+
+    /// Every range location in order — the exhaustive counterpart of
+    /// [`Self::sample`].
+    pub fn iter_all(&self) -> impl Iterator<Item = Interval> + '_ {
+        (0..self.positions()).map(|lo| self.interval_at(lo))
+    }
+
     /// Draws one uniformly-located interval.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Interval {
         let lo = rng.random_range(0..=self.domain_size - self.range_size);
@@ -52,6 +78,17 @@ impl RangeWorkload {
     /// Draws `count` intervals.
     pub fn sample_many<R: Rng + ?Sized>(&self, rng: &mut R, count: usize) -> Vec<Interval> {
         (0..count).map(|_| self.sample(rng)).collect()
+    }
+
+    /// Draws `count` intervals into a caller-owned buffer (cleared first) —
+    /// the allocation-free form serving loops use. The RNG consumption and
+    /// the drawn intervals are identical to `count` [`Self::sample`] calls.
+    pub fn sample_into<R: Rng + ?Sized>(&self, rng: &mut R, count: usize, out: &mut Vec<Interval>) {
+        out.clear();
+        out.reserve(count);
+        for _ in 0..count {
+            out.push(self.sample(rng));
+        }
     }
 }
 
@@ -101,5 +138,30 @@ mod tests {
     #[should_panic(expected = "exceeds domain")]
     fn oversized_range_panics() {
         let _ = RangeWorkload::new(8, 16);
+    }
+
+    #[test]
+    fn deterministic_iteration_tiles_every_location() {
+        let w = RangeWorkload::new(10, 3);
+        assert_eq!(w.positions(), 8);
+        assert_eq!(w.domain_size(), 10);
+        let all: Vec<Interval> = w.iter_all().collect();
+        assert_eq!(all.len(), 8);
+        assert_eq!(all[0], Interval::new(0, 2));
+        assert_eq!(all[7], Interval::new(7, 9));
+        assert_eq!(w.interval_at(4), Interval::new(4, 6));
+    }
+
+    #[test]
+    fn sample_into_matches_repeated_sample() {
+        let w = RangeWorkload::new(512, 9);
+        let singles: Vec<Interval> = {
+            let mut rng = rng_from_seed(54);
+            (0..100).map(|_| w.sample(&mut rng)).collect()
+        };
+        let mut rng = rng_from_seed(54);
+        let mut buf = vec![Interval::new(0, 0)]; // stale content must vanish
+        w.sample_into(&mut rng, 100, &mut buf);
+        assert_eq!(buf, singles);
     }
 }

@@ -271,9 +271,18 @@ impl HierarchicalQuery {
     /// per-node `values[parent(v)] += values[v]` recurrence while doing no
     /// division-heavy `parent()` arithmetic and no allocation after warm-up.
     fn tree_counts_into(&self, histogram: &Histogram, out: &mut Vec<f64>) {
-        let shape = self.shape(histogram.len());
-        let nodes = shape.nodes();
+        let nodes = self.shape(histogram.len()).nodes();
         out.resize(nodes, 0.0);
+        self.tree_counts_into_slice(histogram, out);
+    }
+
+    /// The slice core of [`Self::tree_counts_into`]: writes the full tree
+    /// vector into a pre-sized slice (every slot assigned — leaves, padding,
+    /// and parents), so batch pipelines can evaluate straight into one
+    /// trial's segment of a shared batch buffer.
+    fn tree_counts_into_slice(&self, histogram: &Histogram, out: &mut [f64]) {
+        let shape = self.shape(histogram.len());
+        assert_eq!(out.len(), shape.nodes(), "output slice must cover the tree");
         let first_leaf = shape.first_leaf();
         // Leaves: the domain counts, then explicit zero padding — internal
         // nodes need no initialization because the accumulation below
@@ -332,6 +341,10 @@ impl QuerySequence for HierarchicalQuery {
 
     fn evaluate_into(&self, histogram: &Histogram, out: &mut Vec<f64>) {
         self.tree_counts_into(histogram, out);
+    }
+
+    fn evaluate_into_slice(&self, histogram: &Histogram, out: &mut [f64]) {
+        self.tree_counts_into_slice(histogram, out);
     }
 
     fn sensitivity(&self, domain_size: usize) -> f64 {

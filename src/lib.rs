@@ -72,8 +72,9 @@ pub mod prelude {
     pub use hc_core::{
         effective_threads, enforce_nonnegativity, hierarchical_inference, isotonic_regression,
         mean_absolute_error, sum_squared_error, weighted_hierarchical_inference, BatchInference,
-        BudgetSplit, BudgetedHierarchical, ConsistentTree, FlatUniversal, HierarchicalUniversal,
-        LevelTree, RoundedTree, Rounding, SortedRelease, TreeRelease, UnattributedHistogram,
+        BudgetSplit, BudgetedHierarchical, ConsistentSnapshot, ConsistentTree, FlatUniversal,
+        HierarchicalUniversal, LevelTree, ReleaseStrategy, RoundedTree, Rounding, SortedRelease,
+        StrategyPlan, StrategyPlanner, SubtreeServer, TreeRelease, UnattributedHistogram,
     };
     pub use hc_data::{Domain, Graph, Histogram, Interval, Relation};
     pub use hc_mech::{

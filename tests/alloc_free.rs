@@ -1,7 +1,10 @@
 //! The allocation-free pipeline contract, enforced with a counting
 //! allocator: after warm-up, `BatchInference::release_and_infer` /
 //! `release_and_infer_rounded` (and the experiment-loop building blocks
-//! they are made of) perform **zero** heap allocations per trial.
+//! they are made of) perform **zero** heap allocations per trial — and the
+//! serving layer (`ConsistentSnapshot` rebuild + `answer_into`,
+//! `SubtreeServer::answer_into`) answers warm query batches with zero heap
+//! allocations per batch.
 //!
 //! The whole check lives in a single `#[test]` because the counter is
 //! process-global: the default test harness runs tests on multiple threads,
@@ -100,4 +103,28 @@ fn release_and_infer_pipeline_is_allocation_free_after_warmup() {
         during_loop_blocks, 0,
         "release_into + infer_rounded_into allocated after warm-up"
     );
+
+    // The serving layer: snapshot rebuild + batched answers and the subtree
+    // fold over a warm query batch allocate nothing per batch.
+    let shape_ref = &shape;
+    let mut queries = Vec::new();
+    hist_consistency::data::RangeWorkload::new(n, 64).sample_into(&mut rng, 256, &mut queries);
+    let mut snapshot = ConsistentSnapshot::from_tree_values(shape_ref, &hbar, n);
+    let server = SubtreeServer::new(shape_ref);
+    let (mut served, mut folded) = (Vec::new(), Vec::new());
+    snapshot.answer_into(&queries, &mut served);
+    server.answer_into(&hbar, Rounding::None, &queries, &mut folded);
+    let during_serving = allocations_during(|| {
+        for _ in 0..8 {
+            snapshot.rebuild_from_tree_values(shape_ref, &hbar, n);
+            snapshot.answer_into(&queries, &mut served);
+            server.answer_into(&hbar, Rounding::None, &queries, &mut folded);
+        }
+    });
+    assert_eq!(
+        during_serving, 0,
+        "warm snapshot rebuild + answer_into allocated"
+    );
+    assert_eq!(served.len(), queries.len());
+    assert_eq!(folded.len(), queries.len());
 }
