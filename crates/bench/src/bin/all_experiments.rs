@@ -29,7 +29,7 @@ fn main() {
     ];
     for (name, run) in sections {
         println!("########## {name} ##########");
-        let started = std::time::Instant::now();
+        let started = std::time::Instant::now(); // hc-lint: allow(determinism) — progress timing in the harness log; not part of any experiment artifact
         print!("{}", run(cfg));
         println!("[{name} finished in {:.1?}]\n", started.elapsed());
     }

@@ -12,6 +12,7 @@
 //! sweep sizes `2^i` with 1000 uniformly-located ranges per size.
 
 #![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 #![warn(missing_docs)]
 
 pub mod cli;

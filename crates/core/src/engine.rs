@@ -1057,7 +1057,7 @@ fn run_subtree_jobs<F>(subtrees: Vec<Vec<&mut [f64]>>, workers: usize, body: F)
 where
     F: Fn(usize, &mut [&mut [f64]]) + Sync,
 {
-    let jobs: Vec<SubtreeJob> = subtrees
+    let jobs: Vec<SubtreeJob<'_>> = subtrees
         .into_iter()
         .enumerate()
         .map(|(s, levels)| Mutex::new(Some((s, levels))))
@@ -1307,7 +1307,7 @@ impl BatchInference {
         // behind a mutex so the `&mut` slices cross the scope without
         // unsafe code (the same shape as the subtree work queue).
         type TrialJob<'a> = Mutex<Option<(Option<&'a mut [f64]>, &'a mut [f64])>>;
-        let jobs: Vec<TrialJob> = noisy_chunks
+        let jobs: Vec<TrialJob<'_>> = noisy_chunks
             .into_iter()
             .zip(out_batch.chunks_exact_mut(n))
             .map(|(noisy_chunk, out_chunk)| Mutex::new(Some((noisy_chunk, out_chunk))))

@@ -46,6 +46,7 @@
 //! can print measured-vs-predicted columns.
 
 #![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 #![warn(missing_docs)]
 
 pub mod budgeted;

@@ -604,8 +604,8 @@ impl StrategyPlanner {
             .iter()
             .map(|&ratio| (ratio, price_ratio(ratio)))
             .min_by(|(_, a), (_, b)| {
-                let mean_a: f64 = a.iter().sum::<f64>() / a.len() as f64;
-                let mean_b: f64 = b.iter().sum::<f64>() / b.len() as f64;
+                let mean_a: f64 = a.iter().sum::<f64>() / a.len() as f64; // hc-lint: allow(float-fold) — planner cost ranking; advisory, never released
+                let mean_b: f64 = b.iter().sum::<f64>() / b.len() as f64; // hc-lint: allow(float-fold) — planner cost ranking; advisory, never released
                 mean_a.total_cmp(&mean_b)
             });
 
@@ -627,7 +627,7 @@ impl StrategyPlanner {
             .collect();
 
         let mean = |f: fn(&SizePrediction) -> f64| {
-            per_size.iter().map(f).sum::<f64>() / per_size.len() as f64
+            per_size.iter().map(f).sum::<f64>() / per_size.len() as f64 // hc-lint: allow(float-fold) — planner summary statistic; advisory, never released
         };
         let flat_mean = mean(|p| p.flat);
         let hier_mean = mean(|p| p.hierarchical);

@@ -49,7 +49,7 @@ pub fn thm2_bound(sorted_truth: &[f64], epsilon: f64, c1: f64, c2: f64) -> f64 {
     run_lengths(sorted_truth)
         .into_iter()
         .map(|n_r| {
-            let log_n = (n_r as f64).ln();
+            let log_n = (n_r as f64).ln(); // hc-lint: allow(frozen-bits) — closed-form bound for figures; never enters a release
             (c1 * log_n.powi(3) + c2) / (epsilon * epsilon)
         })
         .sum()
@@ -112,7 +112,7 @@ pub fn thm4_htilde_error(shape: &TreeShape, epsilon: f64) -> f64 {
 /// constants). Returned unnormalized; the experiment rescales to the first
 /// measured point.
 pub fn blum_error_scaling(n_records: u64) -> f64 {
-    (n_records as f64).powf(2.0 / 3.0)
+    (n_records as f64).powf(2.0 / 3.0) // hc-lint: allow(frozen-bits) — reference scaling curve for plots; never enters a release
 }
 
 #[cfg(test)]

@@ -72,6 +72,7 @@ impl SearchLogs {
         // Daily periodicity: 16 bins/day, quiet nights. Weekly modulation.
         for (i, lambda) in intensity.iter_mut().enumerate() {
             let hour_of_day = (i % 16) as f64 / 16.0;
+            // hc-lint: allow(frozen-bits) — synthetic intensity shape; dataset fidelity is pinned by the data goldens, not cross-libm
             let day_factor = 0.4 + 0.6 * (std::f64::consts::PI * hour_of_day).sin().max(0.0);
             let week_phase = ((i / 16) % 7) as f64;
             let week_factor = if week_phase >= 5.0 { 0.7 } else { 1.0 };
@@ -152,7 +153,7 @@ fn apply_decay_spike(intensity: &mut [f64], center: usize, height: f64, width: u
     let hi = (center + 8 * width).min(n - 1);
     for (i, lambda) in intensity.iter_mut().enumerate().take(hi + 1).skip(lo) {
         let dist = (i as f64 - center as f64).abs();
-        *lambda += height * (-dist / w).exp();
+        *lambda += height * (-dist / w).exp(); // hc-lint: allow(frozen-bits) — synthetic spike shape; pinned by the data goldens, not cross-libm
     }
 }
 

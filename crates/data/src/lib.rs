@@ -20,6 +20,7 @@
 //! an actual edge list before extracting degrees.
 
 #![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 #![warn(missing_docs)]
 
 mod domain;

@@ -48,6 +48,7 @@ impl BlumEquiDepth {
     /// The bucket count used for a database of `n_records`.
     pub fn bucket_count(&self, n_records: u64) -> usize {
         self.buckets
+            // hc-lint: allow(frozen-bits) — feeds an integer bucket count through round(); sub-ulp libm variance cannot move it
             .unwrap_or_else(|| ((n_records as f64).powf(1.0 / 3.0).round() as usize).max(4))
     }
 
@@ -69,7 +70,7 @@ impl BlumEquiDepth {
         }
 
         let boundaries_needed = buckets.saturating_sub(1);
-        let probes_per_boundary = (n as f64).log2().ceil().max(1.0) as usize;
+        let probes_per_boundary = (n as f64).log2().ceil().max(1.0) as usize; // hc-lint: allow(frozen-bits) — integer probe count via ceil(); sub-ulp variance cannot move it off the power-of-two sizes used
         let total_probes = (boundaries_needed * probes_per_boundary).max(1);
         let eps_probe = self.epsilon.value() / 2.0 / total_probes as f64;
         let eps_counts = self.epsilon.value() / 2.0;

@@ -25,6 +25,7 @@
 //!   that reuses Theorem 1's isotonic solver.
 
 #![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 #![warn(missing_docs)]
 
 pub mod blum;

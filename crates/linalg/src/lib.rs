@@ -18,6 +18,7 @@
 //! exact expected errors of query strategies (Li et al., PODS 2010 view).
 
 #![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 #![warn(missing_docs)]
 
 mod cg;

@@ -1,0 +1,244 @@
+//! The `hc-lint` annotation grammar — the *only* escape hatch.
+//!
+//! ```text
+//! // hc-lint: allow(<rule>) — <reason>
+//! // hc-lint: hot-path
+//! ```
+//!
+//! `allow` suppresses findings of `<rule>` on the annotated line: its own
+//! line for a trailing comment, the next code line for a standalone comment.
+//! The reason is mandatory — an allow without one is itself a finding — and
+//! an allow that suppresses nothing is *stale* and fails the pass, so dead
+//! annotations cannot accumulate.
+//!
+//! `hot-path` marks the next `fn` as a hot-path kernel (the in-source
+//! counterpart of the repo-specific kernel list in [`crate::config`]); a
+//! marker that attaches to no function is stale and fails the pass.
+
+use crate::lexer::{Comment, Lexed};
+
+/// One parsed `allow` annotation.
+#[derive(Debug)]
+pub struct Allow {
+    /// The rule name inside `allow(…)`.
+    pub rule: String,
+    /// The justification after the separator; `None` if missing/empty.
+    pub reason: Option<String>,
+    /// Line of the comment itself.
+    pub line: u32,
+    /// Column of the comment.
+    pub col: u32,
+    /// The code line this annotation covers.
+    pub target_line: u32,
+    /// Set by the driver when the annotation suppresses a finding.
+    pub used: bool,
+}
+
+/// One parsed `hot-path` marker.
+#[derive(Debug)]
+pub struct HotMark {
+    /// Line of the comment itself.
+    pub line: u32,
+    /// Column of the comment.
+    pub col: u32,
+}
+
+/// A malformed `hc-lint:` comment (unknown directive, unknown rule, missing
+/// reason) — reported as a finding so typos cannot silently disable a rule.
+#[derive(Debug)]
+pub struct BadAnnotation {
+    /// What is wrong, in one sentence.
+    pub message: String,
+    /// Line of the comment.
+    pub line: u32,
+    /// Column of the comment.
+    pub col: u32,
+}
+
+/// Everything annotation-shaped found in one file.
+#[derive(Debug, Default)]
+pub struct Annotations {
+    /// Valid `allow` annotations.
+    pub allows: Vec<Allow>,
+    /// Valid `hot-path` markers.
+    pub hot_marks: Vec<HotMark>,
+    /// Malformed annotations.
+    pub bad: Vec<BadAnnotation>,
+}
+
+/// The directive marker that introduces every annotation.
+pub const MARKER: &str = "hc-lint:";
+
+/// Parses all annotations out of a lexed file. `known_rules` is the set of
+/// rule names `allow` may reference.
+pub fn parse(lexed: &Lexed, known_rules: &[&str]) -> Annotations {
+    let mut out = Annotations::default();
+    for comment in &lexed.comments {
+        // Doc comments (`///` → text starts with `/`, `//!`/`/*!` → `!`,
+        // `/**` → `*`) are prose, not directives — the annotation grammar
+        // can be *discussed* in docs without being parsed.
+        if matches!(comment.text.chars().next(), Some('/' | '!' | '*')) {
+            continue;
+        }
+        let Some(pos) = comment.text.find(MARKER) else {
+            continue;
+        };
+        let directive = comment.text[pos + MARKER.len()..].trim();
+        if let Some(rest) = directive.strip_prefix("allow") {
+            parse_allow(rest, comment, lexed, known_rules, &mut out);
+        } else if directive == "hot-path" {
+            out.hot_marks.push(HotMark {
+                line: comment.line,
+                col: comment.col,
+            });
+        } else {
+            out.bad.push(BadAnnotation {
+                message: format!(
+                    "unknown hc-lint directive `{}` (expected `allow(<rule>) — <reason>` \
+                     or `hot-path`)",
+                    directive.split_whitespace().next().unwrap_or("")
+                ),
+                line: comment.line,
+                col: comment.col,
+            });
+        }
+    }
+    out
+}
+
+fn parse_allow(
+    rest: &str,
+    comment: &Comment,
+    lexed: &Lexed,
+    known_rules: &[&str],
+    out: &mut Annotations,
+) {
+    let rest = rest.trim_start();
+    let Some(inner) = rest.strip_prefix('(') else {
+        out.bad.push(BadAnnotation {
+            message: "malformed allow: expected `allow(<rule>)`".to_string(),
+            line: comment.line,
+            col: comment.col,
+        });
+        return;
+    };
+    let Some(close) = inner.find(')') else {
+        out.bad.push(BadAnnotation {
+            message: "malformed allow: missing `)`".to_string(),
+            line: comment.line,
+            col: comment.col,
+        });
+        return;
+    };
+    let rule = inner[..close].trim().to_string();
+    if !known_rules.contains(&rule.as_str()) {
+        out.bad.push(BadAnnotation {
+            message: format!(
+                "allow names unknown rule `{rule}` (known rules: {})",
+                known_rules.join(", ")
+            ),
+            line: comment.line,
+            col: comment.col,
+        });
+        return;
+    }
+    // Reason: everything after the `)`, with the leading separator (an em
+    // dash, hyphens, or a colon) stripped. Mandatory, and more than a word.
+    let reason = inner[close + 1..]
+        .trim_start()
+        .trim_start_matches(['—', '–', '-', ':'])
+        .trim();
+    let reason = if reason.chars().count() >= 4 {
+        Some(reason.to_string())
+    } else {
+        None
+    };
+    if reason.is_none() {
+        out.bad.push(BadAnnotation {
+            message: format!(
+                "allow({rule}) has no reason — the annotation grammar is \
+                 `hc-lint: allow({rule}) — <why this site is sound>`"
+            ),
+            line: comment.line,
+            col: comment.col,
+        });
+        // Fall through: an allow without a reason suppresses nothing, so the
+        // underlying finding still fires alongside this one.
+        return;
+    }
+    let target_line = if comment.trailing {
+        comment.line
+    } else {
+        // Standalone comment: covers the next line that carries a token.
+        lexed
+            .tokens
+            .iter()
+            .map(|t| t.line)
+            .find(|&l| l > comment.line)
+            .unwrap_or(comment.line)
+    };
+    out.allows.push(Allow {
+        rule,
+        reason,
+        line: comment.line,
+        col: comment.col,
+        target_line,
+        used: false,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    const RULES: &[&str] = &["frozen-bits", "determinism"];
+
+    #[test]
+    fn trailing_allow_covers_its_own_line() {
+        let lexed = lex("let y = x.ln(); // hc-lint: allow(frozen-bits) — spec'd closed form\n");
+        let a = parse(&lexed, RULES);
+        assert_eq!(a.allows.len(), 1);
+        assert!(a.bad.is_empty());
+        assert_eq!(a.allows[0].target_line, 1);
+    }
+
+    #[test]
+    fn standalone_allow_covers_next_code_line() {
+        let lexed = lex("// hc-lint: allow(determinism) — harness timing only\nlet t = now();\n");
+        let a = parse(&lexed, RULES);
+        assert_eq!(a.allows[0].target_line, 2);
+    }
+
+    #[test]
+    fn missing_reason_is_rejected() {
+        let lexed = lex("x.ln(); // hc-lint: allow(frozen-bits)\n");
+        let a = parse(&lexed, RULES);
+        assert!(a.allows.is_empty());
+        assert_eq!(a.bad.len(), 1);
+        assert!(a.bad[0].message.contains("no reason"));
+    }
+
+    #[test]
+    fn unknown_rule_is_rejected() {
+        let lexed = lex("// hc-lint: allow(no-such-rule) — because\nx();\n");
+        let a = parse(&lexed, RULES);
+        assert!(a.allows.is_empty());
+        assert!(a.bad[0].message.contains("unknown rule"));
+    }
+
+    #[test]
+    fn plain_ascii_separator_works() {
+        let lexed = lex("x.ln(); // hc-lint: allow(frozen-bits) -- advisory pricing path\n");
+        let a = parse(&lexed, RULES);
+        assert_eq!(a.allows.len(), 1);
+        assert_eq!(a.allows[0].reason.as_deref(), Some("advisory pricing path"));
+    }
+
+    #[test]
+    fn hot_path_marker_parses() {
+        let lexed = lex("// hc-lint: hot-path\nfn kernel() {}\n");
+        let a = parse(&lexed, RULES);
+        assert_eq!(a.hot_marks.len(), 1);
+    }
+}

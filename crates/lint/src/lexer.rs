@@ -1,0 +1,450 @@
+//! A minimal hand-rolled Rust lexer: just enough structure for invariant
+//! linting, with the two properties the rules cannot live without —
+//!
+//! 1. **comments, string literals, char literals, and raw strings are never
+//!    mistaken for code** (a `".ln("` inside a diagnostic message or a doc
+//!    comment must not trip the frozen-bits rule), and
+//! 2. **comments are captured**, because the `// hc-lint: allow(...)`
+//!    escape-hatch grammar lives in them.
+//!
+//! The lexer is *not* a full Rust grammar: it produces a flat token stream
+//! (identifiers, single-char punctuation, literals) plus a comment list.
+//! Rules match token *sequences* (`.` `ln` `(`), which makes them immune to
+//! whitespace and line breaks between tokens.
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `ln`, `HashMap`, …).
+    Ident,
+    /// A single punctuation character (`.`, `:`, `{`, …). Multi-character
+    /// operators arrive as consecutive tokens; sequence matching handles
+    /// them.
+    Punct,
+    /// A lifetime (`'a`, `'static`) — lexed as one token so the apostrophe
+    /// can never be confused with a char literal.
+    Lifetime,
+    /// String literal of any flavour (`"…"`, `r#"…"#`, `b"…"`). The token
+    /// text is the raw source slice; rules never look inside.
+    Str,
+    /// Char or byte-char literal (`'x'`, `b'\n'`).
+    Char,
+    /// Numeric literal, including suffixes (`2.0f64`, `0x3FE6_2E42`).
+    Num,
+}
+
+/// One lexed token with its source position (1-based line and column).
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokKind,
+    /// Source text of the token (for [`TokKind::Punct`], one character).
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// 1-based column (in characters) of the token's first character.
+    pub col: u32,
+}
+
+impl Token {
+    /// True if this token is the given punctuation character.
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokKind::Punct && self.text.as_bytes().first() == Some(&(ch as u8))
+    }
+
+    /// True if this token is the given identifier.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == name
+    }
+}
+
+/// One comment (line or block) with its source position.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Comment text *without* the `//` / `/*` framing.
+    pub text: String,
+    /// 1-based line of the comment's first character.
+    pub line: u32,
+    /// 1-based column of the `/` that opened the comment.
+    pub col: u32,
+    /// Whether any token precedes the comment on its starting line (a
+    /// *trailing* comment annotates its own line; a standalone comment
+    /// annotates the next code line).
+    pub trailing: bool,
+}
+
+/// The result of lexing one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order (comments and whitespace removed).
+    pub tokens: Vec<Token>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+struct Cursor<'a> {
+    src: &'a [char],
+    i: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<char> {
+        self.src.get(self.i).copied()
+    }
+
+    fn peek_at(&self, off: usize) -> Option<char> {
+        self.src.get(self.i + off).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.i += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `src` into tokens and comments. Never fails: unterminated literals
+/// simply run to end-of-file (the lint must not panic on in-progress code).
+pub fn lex(src: &str) -> Lexed {
+    let chars: Vec<char> = src.chars().collect();
+    let mut cur = Cursor {
+        src: &chars,
+        i: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut out = Lexed::default();
+    let mut line_has_token = false;
+    let mut token_line = 0u32;
+
+    while let Some(c) = cur.peek() {
+        if token_line != cur.line {
+            // `line_has_token` tracks the *current* source line only.
+            line_has_token = false;
+            token_line = cur.line;
+        }
+        let (line, col) = (cur.line, cur.col);
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+        if c == '/' && cur.peek_at(1) == Some('/') {
+            cur.bump();
+            cur.bump();
+            let mut text = String::new();
+            while let Some(ch) = cur.peek() {
+                if ch == '\n' {
+                    break;
+                }
+                text.push(ch);
+                cur.bump();
+            }
+            out.comments.push(Comment {
+                text,
+                line,
+                col,
+                trailing: line_has_token,
+            });
+            continue;
+        }
+        if c == '/' && cur.peek_at(1) == Some('*') {
+            cur.bump();
+            cur.bump();
+            let mut text = String::new();
+            let mut depth = 1usize;
+            while let Some(ch) = cur.peek() {
+                if ch == '/' && cur.peek_at(1) == Some('*') {
+                    depth += 1;
+                    cur.bump();
+                    cur.bump();
+                    text.push_str("/*");
+                    continue;
+                }
+                if ch == '*' && cur.peek_at(1) == Some('/') {
+                    depth -= 1;
+                    cur.bump();
+                    cur.bump();
+                    if depth == 0 {
+                        break;
+                    }
+                    text.push_str("*/");
+                    continue;
+                }
+                text.push(ch);
+                cur.bump();
+            }
+            out.comments.push(Comment {
+                text,
+                line,
+                col,
+                trailing: line_has_token,
+            });
+            continue;
+        }
+        line_has_token = true;
+        if c == '"' {
+            lex_string(&mut cur, 0);
+            push(&mut out, TokKind::Str, "\"…\"", line, col);
+            continue;
+        }
+        if c == '\'' {
+            lex_quote(&mut cur, &mut out, line, col);
+            continue;
+        }
+        if is_ident_start(c) {
+            let mut text = String::new();
+            while let Some(ch) = cur.peek() {
+                if !is_ident_continue(ch) {
+                    break;
+                }
+                text.push(ch);
+                cur.bump();
+            }
+            // Raw/byte string and byte-char prefixes: `r"…"`, `r#"…"#`,
+            // `b"…"`, `br#"…"#`, `c"…"`, `b'…'`.
+            let is_str_prefix = matches!(text.as_str(), "r" | "b" | "br" | "c" | "cr");
+            match (is_str_prefix, cur.peek()) {
+                (true, Some('"')) => {
+                    lex_string(&mut cur, 0);
+                    push(&mut out, TokKind::Str, "\"…\"", line, col);
+                }
+                (true, Some('#')) if text != "b" => {
+                    let mut hashes = 0usize;
+                    while cur.peek() == Some('#') {
+                        hashes += 1;
+                        cur.bump();
+                    }
+                    if cur.peek() == Some('"') {
+                        lex_string(&mut cur, hashes);
+                        push(&mut out, TokKind::Str, "r\"…\"", line, col);
+                    } else {
+                        // `r#ident` raw identifier: the `#`s were consumed;
+                        // emit the prefix as an ident and continue.
+                        push_owned(&mut out, TokKind::Ident, text, line, col);
+                    }
+                }
+                (true, Some('\'')) if text == "b" => {
+                    cur.bump();
+                    lex_char_body(&mut cur);
+                    push(&mut out, TokKind::Char, "b'…'", line, col);
+                }
+                _ => push_owned(&mut out, TokKind::Ident, text, line, col),
+            }
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let mut text = String::new();
+            while let Some(ch) = cur.peek() {
+                if !is_ident_continue(ch) {
+                    break;
+                }
+                text.push(ch);
+                cur.bump();
+            }
+            // Fractional part: `.` followed by a digit (so `0..n` and
+            // `2.0f64.ln()` both split correctly).
+            if cur.peek() == Some('.') && cur.peek_at(1).is_some_and(|d| d.is_ascii_digit()) {
+                text.push('.');
+                cur.bump();
+                while let Some(ch) = cur.peek() {
+                    if !is_ident_continue(ch) {
+                        break;
+                    }
+                    text.push(ch);
+                    cur.bump();
+                }
+            }
+            push_owned(&mut out, TokKind::Num, text, line, col);
+            continue;
+        }
+        cur.bump();
+        push_owned(&mut out, TokKind::Punct, c.to_string(), line, col);
+    }
+    out
+}
+
+fn push(out: &mut Lexed, kind: TokKind, text: &str, line: u32, col: u32) {
+    push_owned(out, kind, text.to_string(), line, col);
+}
+
+fn push_owned(out: &mut Lexed, kind: TokKind, text: String, line: u32, col: u32) {
+    out.tokens.push(Token {
+        kind,
+        text,
+        line,
+        col,
+    });
+}
+
+/// Consumes a string literal whose opening `"` is the cursor's next char.
+/// `hashes > 0` means a raw string closed by `"` + that many `#`s (no escape
+/// processing); `hashes == 0` means a normal string with `\` escapes.
+fn lex_string(cur: &mut Cursor<'_>, hashes: usize) {
+    cur.bump(); // opening quote
+    while let Some(ch) = cur.peek() {
+        if hashes == 0 && ch == '\\' {
+            cur.bump();
+            cur.bump();
+            continue;
+        }
+        if ch == '"' {
+            cur.bump();
+            if hashes == 0 {
+                return;
+            }
+            let mut seen = 0usize;
+            while seen < hashes && cur.peek() == Some('#') {
+                seen += 1;
+                cur.bump();
+            }
+            if seen == hashes {
+                return;
+            }
+            continue;
+        }
+        cur.bump();
+    }
+}
+
+/// After a bare `'`: decides char literal vs lifetime and consumes it.
+fn lex_quote(cur: &mut Cursor<'_>, out: &mut Lexed, line: u32, col: u32) {
+    cur.bump(); // the apostrophe
+    match (cur.peek(), cur.peek_at(1)) {
+        // Escape (`'\n'`) — always a char literal.
+        (Some('\\'), _) => {
+            lex_char_body(cur);
+            push(out, TokKind::Char, "'…'", line, col);
+        }
+        // `'x'` — plain char literal (also covers `'''`).
+        (Some(_), Some('\'')) => {
+            lex_char_body(cur);
+            push(out, TokKind::Char, "'…'", line, col);
+        }
+        // `'a`, `'static`, `'_` — lifetime.
+        (Some(c), _) if is_ident_start(c) => {
+            let mut text = String::from("'");
+            while let Some(ch) = cur.peek() {
+                if !is_ident_continue(ch) {
+                    break;
+                }
+                text.push(ch);
+                cur.bump();
+            }
+            push_owned(out, TokKind::Lifetime, text, line, col);
+        }
+        _ => push(out, TokKind::Punct, "'", line, col),
+    }
+}
+
+/// Consumes a char-literal body (after the opening `'`) through its closing
+/// `'`, handling `\`-escapes including `\u{…}`.
+fn lex_char_body(cur: &mut Cursor<'_>) {
+    while let Some(ch) = cur.peek() {
+        if ch == '\\' {
+            cur.bump();
+            cur.bump();
+            continue;
+        }
+        cur.bump();
+        if ch == '\'' {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_their_contents() {
+        let src = r##"
+            // calls .ln() in a comment
+            /* and .exp() in /* a nested */ block */
+            let a = "x.ln()";
+            let b = r#"y.powf(2.0)"#;
+            let c = 'l';
+            let d: &'static str = "s";
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"ln".to_string()));
+        assert!(!ids.contains(&"exp".to_string()));
+        assert!(!ids.contains(&"powf".to_string()));
+        assert!(ids.contains(&"let".to_string()));
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(lexed.comments[0].text.contains(".ln()"));
+    }
+
+    #[test]
+    fn method_calls_split_into_sequences() {
+        let lexed = lex("x.ln(); v.sum::<f64>(); 2.0f64.exp()");
+        let texts: Vec<&str> = lexed.tokens.iter().map(|t| t.text.as_str()).collect();
+        assert!(texts.windows(2).any(|w| w == [".", "ln"]));
+        assert!(texts.windows(2).any(|w| w == [".", "sum"]));
+        // `2.0f64` stays one number; `.exp` splits off.
+        assert!(lexed
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokKind::Num && t.text == "2.0f64"));
+        assert!(texts.windows(2).any(|w| w == [".", "exp"]));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lexed = lex("fn f<'a>(x: &'a str) -> &'a str { x }");
+        assert_eq!(
+            lexed
+                .tokens
+                .iter()
+                .filter(|t| t.kind == TokKind::Lifetime)
+                .count(),
+            3
+        );
+        assert!(!lexed.tokens.iter().any(|t| t.kind == TokKind::Char));
+    }
+
+    #[test]
+    fn trailing_vs_standalone_comments() {
+        let lexed = lex("let x = 1; // trailing\n// standalone\nlet y = 2;");
+        assert!(lexed.comments[0].trailing);
+        assert!(!lexed.comments[1].trailing);
+    }
+
+    #[test]
+    fn numbers_with_ranges_and_tuple_access() {
+        let lexed = lex("for i in 0..n { t.0 += 1e-5; }");
+        let nums: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Num)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert!(nums.contains(&"0"));
+    }
+}

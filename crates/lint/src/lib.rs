@@ -1,0 +1,390 @@
+//! `hc-lint`: a repo-specific static-analysis pass that proves the
+//! workspace's determinism, hot-path, and threading invariants at lint time.
+//!
+//! The runtime test suite pins *observed* behaviour (golden releases, the
+//! counting allocator, thread-count invariance); this crate pins the
+//! *source-level discipline* those tests rely on, so a regression is caught
+//! at the offending line instead of as a mysterious golden-hash mismatch:
+//!
+//! - **frozen-bits** — transcendental calls only in sanctioned oracle
+//!   modules (their bit patterns are libm-dependent).
+//! - **determinism** — no `HashMap`/`HashSet`, wall-clock reads, or
+//!   entropy-based seeding in result-affecting code.
+//! - **hot-path-alloc** — the registered sweep/serving kernels never
+//!   construct fresh owned values.
+//! - **thread-discipline** — `thread::spawn`/`scope` only in modules that
+//!   route worker counts through `effective_threads`.
+//! - **float-fold** — no implicit-order `.sum::<f64>()` outside the fold
+//!   oracles.
+//! - **backend-pins** — every `NoiseBackend` variant has golden-pin tests
+//!   under its snake-case prefix in each CI pin suite.
+//!
+//! The only escape hatch is `// hc-lint: allow(<rule>) — <reason>` with a
+//! mandatory reason; an allow that suppresses nothing is itself a failure
+//! (`stale-allow`), as is a hot-function registry entry that no longer
+//! matches the tree (`stale-config`). The lexer is hand-rolled and
+//! dependency-free: the build container is offline, and a comment/string/
+//! char-literal-aware token stream is all the rules need.
+
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+#![warn(missing_docs)]
+
+pub mod annot;
+pub mod config;
+pub mod lexer;
+pub mod rules;
+pub mod scope;
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::Path;
+
+use rules::{FileClass, RuleCtx};
+
+/// The suppressible rule families, in documentation order. Meta-findings
+/// (`stale-allow`, `stale-config`, `bad-annotation`) are deliberately not
+/// listed: the escape hatch cannot be used on the escape-hatch police.
+pub const RULES: &[&str] = &[
+    "frozen-bits",
+    "determinism",
+    "hot-path-alloc",
+    "thread-discipline",
+    "float-fold",
+    "backend-pins",
+];
+
+/// One diagnostic.
+#[derive(Debug)]
+pub struct Finding {
+    /// Rule identifier (one of [`RULES`] or a meta rule).
+    pub rule: &'static str,
+    /// Workspace-relative path, `/`-separated.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Finding {
+    /// Clickable single-line rendering: `path:line:col: [rule] message`.
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}:{}: [{}] {}",
+            self.path, self.line, self.col, self.rule, self.message
+        )
+    }
+}
+
+fn sort_findings(findings: &mut [Finding]) {
+    findings.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.col, a.rule).cmp(&(b.path.as_str(), b.line, b.col, b.rule))
+    });
+}
+
+/// Lints one file's source. `force_source` makes explicitly-passed paths
+/// (fixtures live under a `tests/` directory) rank as result-affecting
+/// code; `seed` carries workspace-level findings (backend-pins) that should
+/// be suppressible by annotations in this file.
+pub fn lint_one(rel_path: &str, src: &str, force_source: bool, seed: Vec<Finding>) -> Vec<Finding> {
+    let lexed = lexer::lex(src);
+    let scopes = scope::analyze(&lexed);
+    let mut annots = annot::parse(&lexed, RULES);
+    let class = if force_source {
+        FileClass::Source
+    } else {
+        rules::classify(rel_path)
+    };
+    let ctx = RuleCtx {
+        rel_path,
+        class,
+        lexed: &lexed,
+        scopes: &scopes,
+    };
+    let mut raw = seed;
+    rules::run_file_rules(&ctx, &annots.hot_marks, &mut raw);
+
+    let mut kept = Vec::new();
+    for f in raw {
+        let mut suppressed = false;
+        if RULES.contains(&f.rule) {
+            for a in annots.allows.iter_mut() {
+                if a.rule == f.rule && a.target_line == f.line {
+                    a.used = true;
+                    suppressed = true;
+                }
+            }
+        }
+        if !suppressed {
+            kept.push(f);
+        }
+    }
+    for a in &annots.allows {
+        if !a.used {
+            kept.push(Finding {
+                rule: "stale-allow",
+                path: rel_path.to_string(),
+                line: a.line,
+                col: a.col,
+                message: format!(
+                    "`allow({})` suppresses nothing on line {} — remove the annotation \
+                     (dead escape hatches hide real regressions)",
+                    a.rule, a.target_line
+                ),
+            });
+        }
+    }
+    for b in annots.bad {
+        kept.push(Finding {
+            rule: "bad-annotation",
+            path: rel_path.to_string(),
+            line: b.line,
+            col: b.col,
+            message: b.message,
+        });
+    }
+    sort_findings(&mut kept);
+    kept
+}
+
+fn skip_component(name: &str) -> bool {
+    config::SKIP_DIRS
+        .iter()
+        .any(|s| !s.contains('/') && *s == name)
+}
+
+fn skip_rel(rel: &str) -> bool {
+    config::SKIP_DIRS
+        .iter()
+        .any(|s| s.contains('/') && (rel == *s || rel.starts_with(&format!("{s}/"))))
+}
+
+fn walk(root: &Path, dir: &Path, files: &mut Vec<String>) -> Result<(), String> {
+    let entries = fs::read_dir(dir).map_err(|e| format!("reading {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("reading {}: {e}", dir.display()))?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        if path.is_dir() {
+            if skip_component(&name) || skip_rel(&rel) {
+                continue;
+            }
+            walk(root, &path, files)?;
+        } else if name.ends_with(".rs") && !skip_rel(&rel) {
+            files.push(rel);
+        }
+    }
+    Ok(())
+}
+
+/// Runs the backend-pins rule against the tree on disk.
+pub fn backend_pins_on_disk(root: &Path) -> Vec<Finding> {
+    let enum_path = root.join(config::BACKEND_ENUM_PATH);
+    let enum_src = match fs::read_to_string(&enum_path) {
+        Ok(s) => s,
+        Err(e) => {
+            return vec![Finding {
+                rule: "stale-config",
+                path: config::BACKEND_ENUM_PATH.to_string(),
+                line: 1,
+                col: 1,
+                message: format!(
+                    "backend enum file is unreadable ({e}) — update BACKEND_ENUM_PATH in \
+                     crates/lint/src/config.rs"
+                ),
+            }];
+        }
+    };
+    let mut out = Vec::new();
+    let mut pins: Vec<(&str, String)> = Vec::new();
+    for &pf in config::BACKEND_PIN_FILES {
+        match fs::read_to_string(root.join(pf)) {
+            Ok(s) => pins.push((pf, s)),
+            Err(e) => out.push(Finding {
+                rule: "stale-config",
+                path: pf.to_string(),
+                line: 1,
+                col: 1,
+                message: format!(
+                    "golden-pin suite is unreadable ({e}) — update BACKEND_PIN_FILES in \
+                     crates/lint/src/config.rs"
+                ),
+            }),
+        }
+    }
+    let pins_ref: Vec<(&str, &str)> = pins.iter().map(|(l, s)| (*l, s.as_str())).collect();
+    out.extend(rules::backend_pins_from_sources(&enum_src, &pins_ref));
+    out
+}
+
+/// Lints the whole workspace rooted at `root`. Returns all findings sorted
+/// by `(path, line, col, rule)`.
+pub fn lint_workspace(root: &Path) -> Result<Vec<Finding>, String> {
+    let mut files = Vec::new();
+    walk(root, root, &mut files)?;
+    files.sort();
+
+    // Workspace-level findings, grouped by the file whose annotations may
+    // suppress them.
+    let mut seeds: BTreeMap<String, Vec<Finding>> = BTreeMap::new();
+    for f in backend_pins_on_disk(root) {
+        seeds.entry(f.path.clone()).or_default().push(f);
+    }
+    // The hot-function registry must point at files that exist.
+    for &(file, _) in config::HOT_FUNCTIONS {
+        if !files.iter().any(|rel| rel == file) {
+            seeds.entry(file.to_string()).or_default().push(Finding {
+                rule: "stale-config",
+                path: file.to_string(),
+                line: 1,
+                col: 1,
+                message: "hot-path registry names this file but it is not in the tree — \
+                          update crates/lint/src/config.rs"
+                    .to_string(),
+            });
+        }
+    }
+
+    let mut out = Vec::new();
+    for rel in &files {
+        let src = fs::read_to_string(root.join(rel)).map_err(|e| format!("reading {rel}: {e}"))?;
+        let seed = seeds.remove(rel).unwrap_or_default();
+        out.extend(lint_one(rel, &src, false, seed));
+    }
+    // Seeds whose file was never walked (deleted files, unreadable pins).
+    for (_, v) in seeds {
+        out.extend(v);
+    }
+    sort_findings(&mut out);
+    Ok(out)
+}
+
+/// Lints an explicit list of files (fixture mode): every path is classified
+/// as result-affecting source regardless of directory.
+pub fn lint_paths(root: &Path, paths: &[String]) -> Result<Vec<Finding>, String> {
+    let mut out = Vec::new();
+    for p in paths {
+        let full = root.join(p);
+        let src = fs::read_to_string(&full).map_err(|e| format!("reading {p}: {e}"))?;
+        let rel = p.replace('\\', "/");
+        out.extend(lint_one(&rel, &src, true, Vec::new()));
+    }
+    sort_findings(&mut out);
+    Ok(out)
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders findings as a stable JSON document (for the CI artifact).
+pub fn render_json(findings: &[Finding]) -> String {
+    let mut out = String::from("{\n  \"findings\": [");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \"col\": {}, \
+             \"message\": \"{}\"}}",
+            f.rule,
+            json_escape(&f.path),
+            f.line,
+            f.col,
+            json_escape(&f.message)
+        ));
+    }
+    if !findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str(&format!("],\n  \"count\": {}\n}}\n", findings.len()));
+    out
+}
+
+/// Renders findings as clickable text plus a one-line summary.
+pub fn render_text(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    for f in findings {
+        out.push_str(&f.render());
+        out.push('\n');
+    }
+    if findings.is_empty() {
+        out.push_str("hc-lint: clean\n");
+    } else {
+        out.push_str(&format!("hc-lint: {} finding(s)\n", findings.len()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allow_suppresses_and_is_marked_used() {
+        let src = "fn f(x: f64) -> f64 { x.ln() } // hc-lint: allow(frozen-bits) — advisory bound, never released\n";
+        let f = lint_one("crates/core/src/x.rs", src, false, Vec::new());
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn stale_allow_is_a_finding() {
+        let src = "// hc-lint: allow(frozen-bits) — nothing here needs it\nfn f() {}\n";
+        let f = lint_one("crates/core/src/x.rs", src, false, Vec::new());
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "stale-allow");
+    }
+
+    #[test]
+    fn allow_without_reason_does_not_suppress() {
+        let src = "fn f(x: f64) -> f64 { x.ln() } // hc-lint: allow(frozen-bits)\n";
+        let f = lint_one("crates/core/src/x.rs", src, false, Vec::new());
+        let rules: Vec<_> = f.iter().map(|x| x.rule).collect();
+        assert!(rules.contains(&"frozen-bits"), "{f:?}");
+        assert!(rules.contains(&"bad-annotation"), "{f:?}");
+    }
+
+    #[test]
+    fn meta_findings_cannot_be_allowed() {
+        // `allow(stale-allow)` names an unknown (non-suppressible) rule.
+        let src = "// hc-lint: allow(stale-allow) — trying to silence the police\nfn f() {}\n";
+        let f = lint_one("crates/core/src/x.rs", src, false, Vec::new());
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "bad-annotation");
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let f = vec![Finding {
+            rule: "determinism",
+            path: "a/b.rs".to_string(),
+            line: 3,
+            col: 7,
+            message: "say \"no\"".to_string(),
+        }];
+        let j = render_json(&f);
+        assert!(j.contains("\"count\": 1"));
+        assert!(j.contains("\\\"no\\\""));
+    }
+}

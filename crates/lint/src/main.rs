@@ -1,0 +1,118 @@
+//! The `hc-lint` binary. Exit codes: 0 clean, 1 findings, 2 usage/IO error.
+//!
+//! ```text
+//! hc-lint [--root DIR] [--json]              lint the whole workspace
+//! hc-lint [--root DIR] [--json] FILE...      lint explicit files (as source)
+//! hc-lint --pins ENUM.rs PIN.rs...           run only the backend-pins rule
+//! hc-lint --list-rules                       print the rule names
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use hc_lint::{lint_paths, lint_workspace, render_json, render_text, rules, Finding, RULES};
+
+struct Args {
+    root: PathBuf,
+    json: bool,
+    list_rules: bool,
+    pins: Option<Vec<String>>,
+    paths: Vec<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        json: false,
+        list_rules: false,
+        pins: None,
+        paths: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => args.json = true,
+            "--list-rules" => args.list_rules = true,
+            "--root" => {
+                args.root = PathBuf::from(
+                    it.next()
+                        .ok_or_else(|| "--root needs a directory".to_string())?,
+                );
+            }
+            "--pins" => {
+                // All remaining arguments: the enum file, then pin files.
+                let rest: Vec<String> = it.by_ref().collect();
+                if rest.len() < 2 {
+                    return Err("--pins needs ENUM.rs and at least one PIN.rs".to_string());
+                }
+                args.pins = Some(rest);
+            }
+            "--help" | "-h" => {
+                return Err("usage: hc-lint [--root DIR] [--json] [--list-rules] \
+                            [--pins ENUM.rs PIN.rs...] [FILE...]"
+                    .to_string());
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag `{other}` (see --help)"));
+            }
+            other => args.paths.push(other.to_string()),
+        }
+    }
+    Ok(args)
+}
+
+fn run_pins(args: &Args, files: &[String]) -> Result<Vec<Finding>, String> {
+    let enum_src = std::fs::read_to_string(args.root.join(&files[0]))
+        .map_err(|e| format!("reading {}: {e}", files[0]))?;
+    let mut pins = Vec::new();
+    for p in &files[1..] {
+        let src =
+            std::fs::read_to_string(args.root.join(p)).map_err(|e| format!("reading {p}: {e}"))?;
+        pins.push((p.clone(), src));
+    }
+    let pins_ref: Vec<(&str, &str)> = pins.iter().map(|(l, s)| (l.as_str(), s.as_str())).collect();
+    Ok(rules::backend_pins_from_sources(&enum_src, &pins_ref))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("hc-lint: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    if args.list_rules {
+        for r in RULES {
+            println!("{r}");
+        }
+        return ExitCode::SUCCESS;
+    }
+    let result = if let Some(files) = &args.pins {
+        run_pins(&args, files)
+    } else if args.paths.is_empty() {
+        lint_workspace(&args.root)
+    } else {
+        lint_paths(&args.root, &args.paths)
+    };
+    let findings = match result {
+        Ok(f) => f,
+        Err(msg) => {
+            eprintln!("hc-lint: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    if args.json {
+        print!("{}", render_json(&findings));
+    } else {
+        print!("{}", render_text(&findings));
+    }
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,220 @@
+//! Structural views over the token stream: function scopes (so the hot-path
+//! rule can confine itself to named kernels) and `#[cfg(test)]` / `#[test]`
+//! spans (so rules about *result-affecting* code skip test code).
+
+use crate::lexer::{Lexed, TokKind, Token};
+
+/// One `fn` item: its name, the line of the `fn` keyword, and the token
+/// range of its body (exclusive of the braces themselves).
+#[derive(Debug, Clone)]
+pub struct FnScope {
+    /// The function's name.
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub fn_line: u32,
+    /// Token index range `(start, end)` of the body: `tokens[start..end]`
+    /// are the tokens strictly inside the outermost braces.
+    pub body: (usize, usize),
+    /// 1-based line range `(first, last)` covered by the body braces.
+    pub lines: (u32, u32),
+}
+
+/// Line spans (1-based, inclusive) of code that is compiled only under
+/// `cfg(test)` or is itself a `#[test]` item.
+#[derive(Debug, Default)]
+pub struct Scopes {
+    /// All function items, in source order (nested functions included).
+    pub fns: Vec<FnScope>,
+    test_spans: Vec<(u32, u32)>,
+}
+
+impl Scopes {
+    /// True if `line` belongs to test-only code.
+    pub fn is_test_line(&self, line: u32) -> bool {
+        self.test_spans
+            .iter()
+            .any(|&(lo, hi)| lo <= line && line <= hi)
+    }
+
+    /// Function scopes named `name` (there may be several — one per impl).
+    pub fn fns_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a FnScope> {
+        self.fns.iter().filter(move |f| f.name == name)
+    }
+}
+
+/// Finds the token index of the `}` matching the `{` at `open` (which must
+/// be a `{` punct). Returns the last index on unbalanced input.
+fn matching_brace(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0usize;
+    for (i, t) in tokens.iter().enumerate().skip(open) {
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+    }
+    tokens.len().saturating_sub(1)
+}
+
+/// Builds the structural view of one lexed file.
+pub fn analyze(lexed: &Lexed) -> Scopes {
+    let tokens = &lexed.tokens;
+    let mut scopes = Scopes::default();
+
+    // Function scopes: `fn` keyword followed by an identifier (skipping the
+    // bare-function-type form `fn(…)`), body = first `{` before a `;`.
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].is_ident("fn") {
+            if let Some(name_tok) = tokens.get(i + 1) {
+                if name_tok.kind == TokKind::Ident {
+                    let mut j = i + 2;
+                    let mut body = None;
+                    while let Some(t) = tokens.get(j) {
+                        if t.is_punct('{') {
+                            body = Some(j);
+                            break;
+                        }
+                        if t.is_punct(';') {
+                            break; // trait method declaration, no body
+                        }
+                        j += 1;
+                    }
+                    if let Some(open) = body {
+                        let close = matching_brace(tokens, open);
+                        scopes.fns.push(FnScope {
+                            name: name_tok.text.clone(),
+                            fn_line: tokens[i].line,
+                            body: (open + 1, close),
+                            lines: (tokens[open].line, tokens[close].line),
+                        });
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+
+    // Test spans: an outer attribute containing the ident `test` or `bench`
+    // (and not `not`, so `#[cfg(not(test))]` stays live code) marks the item
+    // that follows — through its first brace block, or to the `;` of a
+    // braceless item.
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].is_punct('#') && tokens.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+            let open = i + 1;
+            let mut depth = 0usize;
+            let mut close = open;
+            for (j, t) in tokens.iter().enumerate().skip(open) {
+                if t.is_punct('[') {
+                    depth += 1;
+                } else if t.is_punct(']') {
+                    depth -= 1;
+                    if depth == 0 {
+                        close = j;
+                        break;
+                    }
+                }
+            }
+            let attr = &tokens[open + 1..close];
+            let is_test = attr
+                .iter()
+                .any(|t| t.is_ident("test") || t.is_ident("bench"))
+                && !attr.iter().any(|t| t.is_ident("not"));
+            if is_test {
+                // Skip any further attributes between this one and the item.
+                let mut j = close + 1;
+                while tokens.get(j).is_some_and(|t| t.is_punct('#'))
+                    && tokens.get(j + 1).is_some_and(|t| t.is_punct('['))
+                {
+                    let mut depth = 0usize;
+                    let mut k = j + 1;
+                    while let Some(t) = tokens.get(k) {
+                        if t.is_punct('[') {
+                            depth += 1;
+                        } else if t.is_punct(']') {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        k += 1;
+                    }
+                    j = k + 1;
+                }
+                // Item extent: first `{ … }` block, or a braceless `…;`.
+                let mut end_line = tokens.get(j).map_or(tokens[i].line, |t| t.line);
+                while let Some(t) = tokens.get(j) {
+                    if t.is_punct('{') {
+                        let closeb = matching_brace(tokens, j);
+                        end_line = tokens[closeb].line;
+                        break;
+                    }
+                    if t.is_punct(';') {
+                        end_line = t.line;
+                        break;
+                    }
+                    j += 1;
+                }
+                scopes.test_spans.push((tokens[i].line, end_line));
+            }
+            i = close + 1;
+            continue;
+        }
+        i += 1;
+    }
+    scopes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn finds_functions_and_bodies() {
+        let src = "impl X { fn hot(&self) -> f64 { self.walk() } }\nfn free() {}\n";
+        let lexed = lex(src);
+        let s = analyze(&lexed);
+        assert_eq!(s.fns.len(), 2);
+        assert_eq!(s.fns[0].name, "hot");
+        assert_eq!(s.fns[1].name, "free");
+    }
+
+    #[test]
+    fn trait_declarations_have_no_body() {
+        let lexed = lex("trait T { fn decl(&self) -> f64; fn with_default(&self) { } }");
+        let s = analyze(&lexed);
+        assert_eq!(s.fns.len(), 1);
+        assert_eq!(s.fns[0].name, "with_default");
+    }
+
+    #[test]
+    fn cfg_test_mod_is_a_test_span() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\n";
+        let lexed = lex(src);
+        let s = analyze(&lexed);
+        assert!(!s.is_test_line(1));
+        assert!(s.is_test_line(3));
+        assert!(s.is_test_line(4));
+    }
+
+    #[test]
+    fn cfg_not_test_is_live_code() {
+        let src = "#[cfg(not(test))]\nfn live() { x() }\n";
+        let lexed = lex(src);
+        let s = analyze(&lexed);
+        assert!(!s.is_test_line(2));
+    }
+
+    #[test]
+    fn test_attribute_with_following_attributes() {
+        let src = "#[test]\n#[should_panic]\nfn boom() {\n    panic!()\n}\n";
+        let lexed = lex(src);
+        let s = analyze(&lexed);
+        assert!(s.is_test_line(4));
+    }
+}

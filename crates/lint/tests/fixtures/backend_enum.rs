@@ -1,0 +1,6 @@
+//! Backend-pins fixture: a two-variant backend enum.
+
+pub enum NoiseBackend {
+    Reference,
+    FastLn,
+}

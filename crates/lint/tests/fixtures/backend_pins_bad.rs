@@ -1,0 +1,4 @@
+//! Backend-pins fixture: `FastLn` has no `fast_ln_*` pin here.
+
+#[test]
+fn reference_golden_release() {}

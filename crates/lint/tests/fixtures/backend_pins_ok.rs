@@ -1,0 +1,7 @@
+//! Backend-pins fixture: every variant has a prefixed golden-pin test.
+
+#[test]
+fn reference_golden_release() {}
+
+#[test]
+fn fast_ln_golden_release() {}

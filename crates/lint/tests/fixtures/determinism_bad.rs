@@ -1,0 +1,14 @@
+//! Positive fixture: randomized iteration order and a wall-clock read in
+//! result-affecting code.
+
+use std::collections::HashMap;
+
+pub fn tally(keys: &[u32]) -> HashMap<u32, u64> {
+    let started = std::time::Instant::now();
+    let mut m = HashMap::new();
+    for &k in keys {
+        *m.entry(k).or_insert(0) += 1;
+    }
+    let _ = started.elapsed();
+    m
+}

@@ -1,0 +1,23 @@
+//! Negative fixture: ordered containers in live code; hash containers and
+//! timing confined to test code.
+
+use std::collections::BTreeMap;
+
+pub fn tally(keys: &[u32]) -> BTreeMap<u32, u64> {
+    let mut m = BTreeMap::new();
+    for &k in keys {
+        *m.entry(k).or_insert(0) += 1;
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashSet;
+
+    #[test]
+    fn dedup_in_tests_is_fine() {
+        let s: HashSet<u32> = [1, 2, 2].into_iter().collect();
+        assert_eq!(s.len(), 2);
+    }
+}

@@ -1,0 +1,5 @@
+//! Positive fixture: implicit-order `.sum::<f64>()` in serving-path code.
+
+pub fn total(values: &[f64]) -> f64 {
+    values.iter().sum::<f64>()
+}

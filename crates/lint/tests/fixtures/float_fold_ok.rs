@@ -1,0 +1,6 @@
+//! Negative fixture: the fold order is explicit (and engine-compatible:
+//! seeded `-0.0`, left to right).
+
+pub fn total(values: &[f64]) -> f64 {
+    values.iter().fold(-0.0, |acc, &v| acc + v)
+}

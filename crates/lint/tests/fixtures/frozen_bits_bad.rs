@@ -1,0 +1,5 @@
+//! Positive fixture: transcendental call outside an oracle module.
+
+pub fn scale(x: f64) -> f64 {
+    x.ln() + 1.0
+}

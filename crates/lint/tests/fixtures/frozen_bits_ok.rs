@@ -1,0 +1,19 @@
+//! Negative fixture: the method name appears only in prose, strings, and
+//! test code — and the one real call carries a justified allow.
+
+pub fn describe() -> &'static str {
+    // .ln() in a comment is invisible to the lexer-backed rules.
+    "computes x.ln() the slow way"
+}
+
+pub fn bound(x: f64) -> f64 {
+    x.ln() // hc-lint: allow(frozen-bits) — advisory bound for plots; never released
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn reference_math_in_tests_is_fine() {
+        assert!((2.0f64).ln() > 0.0);
+    }
+}

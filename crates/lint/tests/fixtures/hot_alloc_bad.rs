@@ -1,0 +1,9 @@
+//! Positive fixture: a marked hot-path kernel that allocates.
+
+// hc-lint: hot-path
+pub fn sweep(values: &[f64], out: &mut [f64]) {
+    let scratch: Vec<f64> = values.to_vec();
+    for (o, s) in out.iter_mut().zip(&scratch) {
+        *o = *s * 2.0;
+    }
+}

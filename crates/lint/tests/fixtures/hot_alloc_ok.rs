@@ -1,0 +1,20 @@
+//! Negative fixture: a marked hot-path kernel that writes into the caller's
+//! buffer, plus an unmarked cold function that is free to allocate.
+
+// hc-lint: hot-path
+pub fn sweep(values: &[f64], out: &mut [f64]) {
+    for (o, v) in out.iter_mut().zip(values) {
+        *o = *v * 2.0;
+    }
+}
+
+// hc-lint: hot-path
+pub fn warm(buf: &mut Vec<f64>, n: usize) {
+    // Capacity growth to the high-water mark is warm-path legal.
+    buf.reserve(n);
+    buf.resize(n, 0.0);
+}
+
+pub fn cold(values: &[f64]) -> Vec<f64> {
+    values.to_vec()
+}

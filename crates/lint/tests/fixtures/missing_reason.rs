@@ -1,0 +1,6 @@
+//! Positive fixture: an allow without a reason neither parses nor
+//! suppresses — both the bad annotation and the underlying finding fire.
+
+pub fn scale(x: f64) -> f64 {
+    x.ln() // hc-lint: allow(frozen-bits)
+}

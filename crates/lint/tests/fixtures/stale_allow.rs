@@ -1,0 +1,6 @@
+//! Positive fixture: a well-formed allow that suppresses nothing.
+
+// hc-lint: allow(frozen-bits) — left behind after the call was removed
+pub fn add(a: f64, b: f64) -> f64 {
+    a + b
+}

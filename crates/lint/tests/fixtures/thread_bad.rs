@@ -1,0 +1,9 @@
+//! Positive fixture: spawning without routing through `effective_threads`.
+
+pub fn fan_out(jobs: usize) {
+    std::thread::scope(|s| {
+        for _ in 0..jobs {
+            s.spawn(|| {});
+        }
+    });
+}

@@ -1,0 +1,15 @@
+//! Negative fixture: the worker count is routed through
+//! `effective_threads`, so the HC_THREADS contract holds.
+
+fn effective_threads(requested: usize) -> usize {
+    requested.max(1)
+}
+
+pub fn fan_out(jobs: usize) {
+    let workers = effective_threads(jobs);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| {});
+        }
+    });
+}

@@ -1,0 +1,6 @@
+//! Positive fixture: an allow naming a rule that does not exist.
+
+// hc-lint: allow(no-such-rule) — typos must not silently disable rules
+pub fn add(a: f64, b: f64) -> f64 {
+    a + b
+}

@@ -1,0 +1,165 @@
+//! End-to-end checks of the `hc-lint` binary: every positive fixture fails,
+//! every negative fixture passes, the JSON mode is machine-readable, and —
+//! the self-check that makes the pass trustworthy — the live workspace is
+//! lint-clean.
+
+use std::path::Path;
+use std::process::{Command, Output};
+
+fn fixtures_root() -> &'static str {
+    concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures")
+}
+
+fn workspace_root() -> String {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves")
+        .to_string_lossy()
+        .into_owned()
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_hc-lint"))
+        .args(args)
+        .output()
+        .expect("hc-lint binary runs")
+}
+
+fn lint_fixture(file: &str) -> Output {
+    run(&["--root", fixtures_root(), file])
+}
+
+fn assert_fails_with(file: &str, rule: &str) {
+    let out = lint_fixture(file);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "{file} should fail the pass; stdout:\n{stdout}"
+    );
+    assert!(
+        stdout.contains(&format!("[{rule}]")),
+        "{file} should report [{rule}]; stdout:\n{stdout}"
+    );
+}
+
+fn assert_clean(file: &str) {
+    let out = lint_fixture(file);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{file} should be clean; stdout:\n{stdout}"
+    );
+}
+
+#[test]
+fn positive_fixtures_fail() {
+    assert_fails_with("frozen_bits_bad.rs", "frozen-bits");
+    assert_fails_with("determinism_bad.rs", "determinism");
+    assert_fails_with("hot_alloc_bad.rs", "hot-path-alloc");
+    assert_fails_with("thread_bad.rs", "thread-discipline");
+    assert_fails_with("float_fold_bad.rs", "float-fold");
+    assert_fails_with("stale_allow.rs", "stale-allow");
+    assert_fails_with("unknown_rule.rs", "bad-annotation");
+}
+
+#[test]
+fn negative_fixtures_pass() {
+    assert_clean("frozen_bits_ok.rs");
+    assert_clean("determinism_ok.rs");
+    assert_clean("hot_alloc_ok.rs");
+    assert_clean("thread_ok.rs");
+    assert_clean("float_fold_ok.rs");
+}
+
+#[test]
+fn allow_without_reason_reports_both_findings() {
+    let out = lint_fixture("missing_reason.rs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1), "stdout:\n{stdout}");
+    assert!(stdout.contains("[frozen-bits]"), "stdout:\n{stdout}");
+    assert!(stdout.contains("[bad-annotation]"), "stdout:\n{stdout}");
+}
+
+#[test]
+fn backend_pins_mode_checks_prefix_coverage() {
+    let ok = run(&[
+        "--root",
+        fixtures_root(),
+        "--pins",
+        "backend_enum.rs",
+        "backend_pins_ok.rs",
+    ]);
+    assert_eq!(ok.status.code(), Some(0));
+    let bad = run(&[
+        "--root",
+        fixtures_root(),
+        "--pins",
+        "backend_enum.rs",
+        "backend_pins_bad.rs",
+    ]);
+    let stdout = String::from_utf8_lossy(&bad.stdout);
+    assert_eq!(bad.status.code(), Some(1), "stdout:\n{stdout}");
+    assert!(stdout.contains("[backend-pins]"), "stdout:\n{stdout}");
+    assert!(stdout.contains("fast_ln_"), "stdout:\n{stdout}");
+}
+
+#[test]
+fn json_mode_is_machine_readable() {
+    let out = run(&["--root", fixtures_root(), "--json", "frozen_bits_bad.rs"]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1), "stdout:\n{stdout}");
+    assert!(stdout.trim_start().starts_with('{'), "stdout:\n{stdout}");
+    assert!(
+        stdout.contains("\"rule\": \"frozen-bits\""),
+        "stdout:\n{stdout}"
+    );
+    assert!(stdout.contains("\"count\": 1"), "stdout:\n{stdout}");
+    assert!(stdout.trim_end().ends_with('}'), "stdout:\n{stdout}");
+}
+
+#[test]
+fn list_rules_names_all_six_families() {
+    let out = run(&["--list-rules"]);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for rule in [
+        "frozen-bits",
+        "determinism",
+        "hot-path-alloc",
+        "thread-discipline",
+        "float-fold",
+        "backend-pins",
+    ] {
+        assert!(stdout.lines().any(|l| l == rule), "missing {rule}");
+    }
+}
+
+/// The self-check: the live workspace must be lint-clean. This is the same
+/// invocation CI runs; if a rule regresses or an annotation goes stale,
+/// this test fails locally before CI does.
+#[test]
+fn live_workspace_is_lint_clean() {
+    let out = run(&["--root", &workspace_root()]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "workspace should be lint-clean; findings:\n{stdout}"
+    );
+    assert!(stdout.contains("hc-lint: clean"), "stdout:\n{stdout}");
+}
+
+/// Library-level sanity on the real tree: the backend-pins rule sees the
+/// actual `NoiseBackend` enum and finds pins for every variant.
+#[test]
+fn real_backend_enum_is_fully_pinned() {
+    let findings = hc_lint::backend_pins_on_disk(Path::new(&workspace_root()));
+    assert!(
+        findings.is_empty(),
+        "backend pins incomplete: {:?}",
+        findings.iter().map(|f| f.render()).collect::<Vec<_>>()
+    );
+}

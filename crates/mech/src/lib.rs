@@ -19,6 +19,7 @@
 //! crate releases the *noisy* outputs it post-processes.
 
 #![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 #![warn(missing_docs)]
 
 mod budget;

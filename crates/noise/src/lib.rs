@@ -21,6 +21,7 @@
 //! logic lives here so it can be tested against closed forms.
 
 #![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 #![warn(missing_docs)]
 
 pub mod backend;

@@ -7,6 +7,7 @@
 //! every suite reports mismatches the same way.
 
 #![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 #![warn(missing_docs)]
 
 /// Asserts `a` and `b` have equal length and agree element-wise within

@@ -58,6 +58,7 @@
 //! crate (see `EXPERIMENTS.md`); runnable scenarios live in `examples/`.
 
 #![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
 #![warn(missing_docs)]
 
 pub use hc_core as infer;
