@@ -1,0 +1,411 @@
+//! Open-loop load test of the `hc-serve` service layer.
+//!
+//! Default (timing) mode: one hierarchical tenant; reader threads answer a
+//! precomputed query stream against an *open-loop* arrival schedule
+//! (queries arrive on a fixed clock whether or not the service has kept
+//! up, so queueing delay is charged to latency — closed-loop harnesses
+//! hide exactly the overload behaviour a service layer exists to absorb)
+//! while a writer publishes fresh epochs mid-run. Reported: p50/p99/p999
+//! latency and queries/s, min-enveloped over repeats, with one
+//! `BENCH_JSON` record per percentile so `bench_diff` gates serving
+//! latency alongside the inference benchmarks.
+//!
+//! `--verify` mode: no timing at all. Readers race a publisher at full
+//! speed and every answered batch must match one precomputed serial
+//! snapshot bit for bit — never a torn mix of epochs. Stdout is a pure
+//! function of the seed, so `tests/hc_threads.rs` pins it byte-identical
+//! across `HC_THREADS` ∈ {1, 2, 4}.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use hc_core::effective_threads;
+use hc_noise::SeedStream;
+use hc_serve::{HistogramService, RangeQuery, TenantConfig, TenantId};
+use rand::Rng;
+
+struct Args {
+    quick: bool,
+    seed: u64,
+    verify: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        quick: false,
+        seed: 20100913,
+        verify: false,
+    };
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--quick" => args.quick = true,
+            "--verify" => args.verify = true,
+            "--seed" => {
+                let v = iter.next().unwrap_or_else(|| usage("--seed needs a value"));
+                args.seed = v
+                    .parse()
+                    .unwrap_or_else(|_| usage("--seed must be an integer"));
+            }
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown flag {other}")),
+        }
+    }
+    args
+}
+
+fn usage(msg: &str) -> ! {
+    if !msg.is_empty() {
+        eprintln!("error: {msg}");
+    }
+    eprintln!("usage: serve_load [--quick] [--seed N] [--verify]");
+    std::process::exit(if msg.is_empty() { 0 } else { 2 });
+}
+
+/// A deterministic query stream over `domain_size` bins: mixed lengths,
+/// plus the occasional empty and whole-domain query.
+fn query_stream(domain_size: usize, count: usize, seed: u64) -> Vec<RangeQuery> {
+    let mut rng = SeedStream::new(seed).substream(0x51).rng(0);
+    (0..count)
+        .map(|i| {
+            if i % 64 == 0 {
+                RangeQuery::new(0, domain_size) // whole domain
+            } else if i % 97 == 0 {
+                let at = rng.random_range(0..domain_size);
+                RangeQuery::new(at, at) // empty
+            } else {
+                let lo = rng.random_range(0..domain_size);
+                let hi = rng.random_range(lo..=domain_size);
+                RangeQuery::new(lo, hi)
+            }
+        })
+        .collect()
+}
+
+/// Deterministic per-epoch ingest deltas.
+fn epoch_deltas(domain_size: usize, epoch: usize, seed: u64) -> Vec<(usize, u64)> {
+    let mut rng = SeedStream::new(seed).substream(0xde).rng(epoch as u64);
+    (0..32)
+        .map(|_| (rng.random_range(0..domain_size), rng.random_range(1..20u64)))
+        .collect()
+}
+
+fn tenant_config(name: &str, domain_size: usize, seed: u64) -> TenantConfig {
+    TenantConfig::new(name, domain_size)
+        .with_budget(16.0, 0.05)
+        .with_refresh_every(0)
+        .with_seed(seed)
+}
+
+/// Appends one `bench_diff`-compatible record line to `$BENCH_JSON`.
+fn emit_json(label: &str, ns_per_iter: f64) {
+    let Ok(path) = std::env::var("BENCH_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    use std::io::Write;
+    if let Ok(mut file) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+    {
+        let _ = writeln!(
+            file,
+            "{{\"label\":\"{label}\",\"ns_per_iter\":{ns_per_iter:.1}}}"
+        );
+    }
+}
+
+fn percentile(sorted_ns: &[u64], q: f64) -> u64 {
+    let idx = ((sorted_ns.len() - 1) as f64 * q).round() as usize;
+    sorted_ns[idx]
+}
+
+/// Sleeps until shortly before `t`, then spins the rest: busy-waiting the
+/// whole interval would oversubscribe small runners (every waiter burning a
+/// core makes the scheduler quantum, not the service, the measured tail).
+fn wait_until(t: Instant) {
+    loop {
+        let now = Instant::now(); // hc-lint: allow(determinism) — open-loop schedule clock
+        if now >= t {
+            return;
+        }
+        let remaining = t - now;
+        if remaining > Duration::from_micros(200) {
+            std::thread::sleep(remaining - Duration::from_micros(100));
+        } else {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+/// One open-loop measurement pass: returns `(p50, p99, p999, mean)` in ns
+/// and the achieved queries/s.
+fn timing_pass(args: &Args, queries: &[RangeQuery], domain_size: usize) -> ([f64; 4], f64) {
+    let mut service = HistogramService::new();
+    let id = service
+        .register(tenant_config("load", domain_size, args.seed))
+        .expect("tenant registration");
+    service
+        .ingest(id, &epoch_deltas(domain_size, 0, args.seed))
+        .expect("seed ingest");
+    service.publish(id).expect("seed publish");
+
+    let readers = effective_threads(4);
+    let publishes = if args.quick { 4 } else { 8 };
+    // Open-loop arrival clock: one query every `interval`, regardless of
+    // service progress. 5 µs ≈ 200 k arrivals/s — far below the snapshot's
+    // capacity, so measured latency is service time unless a publish stalls
+    // readers (which the lock-free cell exists to prevent).
+    let interval = Duration::from_micros(5);
+    let next = AtomicUsize::new(0);
+    let mut lat_ns: Vec<u64> = Vec::with_capacity(queries.len());
+    let span = interval * queries.len() as u32;
+    let start = Instant::now() + Duration::from_millis(1); // hc-lint: allow(determinism) — schedule epoch for the open-loop clock
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(readers);
+        for _ in 0..readers {
+            let service = &service;
+            let next = &next;
+            handles.push(scope.spawn(move || {
+                let mut local = Vec::with_capacity(queries.len() / readers + 1);
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= queries.len() {
+                        return local;
+                    }
+                    let arrival = start + interval * i as u32;
+                    wait_until(arrival);
+                    let answer = service.answer(id, queries[i]).expect("serve answer");
+                    assert!(answer.is_finite() || answer == 0.0);
+                    let done = Instant::now(); // hc-lint: allow(determinism) — latency stamp
+                    local.push((done - arrival).as_nanos() as u64);
+                }
+            }));
+        }
+        // The writer publishes fresh epochs spread across the run, so the
+        // latency envelope includes reads landing mid-swap.
+        for e in 1..=publishes {
+            let at = start + span * e as u32 / (publishes + 1) as u32;
+            wait_until(at);
+            service
+                .ingest(id, &epoch_deltas(domain_size, e, args.seed))
+                .expect("ingest");
+            service.publish(id).expect("publish");
+        }
+        for handle in handles {
+            lat_ns.extend(handle.join().expect("reader thread"));
+        }
+    });
+
+    let elapsed = (Instant::now() - start).as_secs_f64(); // hc-lint: allow(determinism) — throughput denominator
+    lat_ns.sort_unstable();
+    let mean = lat_ns.iter().sum::<u64>() as f64 / lat_ns.len() as f64;
+    let metrics = [
+        percentile(&lat_ns, 0.50) as f64,
+        percentile(&lat_ns, 0.99) as f64,
+        percentile(&lat_ns, 0.999) as f64,
+        mean,
+    ];
+    (metrics, lat_ns.len() as f64 / elapsed)
+}
+
+fn run_timing(args: &Args) {
+    let domain_size = if args.quick { 512 } else { 4096 };
+    let count = if args.quick { 8_000 } else { 40_000 };
+    let repeats = if args.quick { 5 } else { 7 };
+    let queries = query_stream(domain_size, count, args.seed);
+
+    // Measured first, before the open-loop phase's sleep/wake cycles have
+    // dropped the CPU into idle states mid-run.
+    let closed_ns = closed_loop_ns(args, &queries, domain_size);
+
+    // Min envelope over repeats: scheduler noise only ever adds latency, so
+    // the minimum is the reproducible part (same contract as the bench
+    // harness's min-of-N windows).
+    let mut best = [f64::INFINITY; 4];
+    let mut best_qps = 0.0f64;
+    for _ in 0..repeats {
+        let (metrics, qps) = timing_pass(args, &queries, domain_size);
+        for (b, m) in best.iter_mut().zip(metrics) {
+            *b = b.min(m);
+        }
+        best_qps = best_qps.max(qps);
+    }
+
+    let threads = effective_threads(4);
+    println!(
+        "serve_load: open-loop, {count} queries, domain {domain_size}, {threads} reader thread(s)"
+    );
+    for (label, ns) in ["p50", "p99", "p999", "mean"].iter().zip(best) {
+        println!("  latency {label:<5} {ns:>12.0} ns");
+    }
+    println!("  throughput {best_qps:>12.0} queries/s");
+
+    // The gated record. Open-loop tail percentiles are printed above as
+    // diagnostics but deliberately NOT emitted: on shared CI runners the
+    // tail is owned by the scheduler (threads > cores), so gating it at
+    // ±10% would make the job flaky without measuring the service. What is
+    // gated is the closed-loop per-query service time — the part a serving
+    // regression actually moves.
+    println!("  closed-loop {closed_ns:>12.1} ns/query");
+    emit_json("serve_load/closed_ns", closed_ns);
+}
+
+/// Closed-loop per-query service time: batches through `answer_into`, min
+/// over many short windows (the same min-envelope contract as the bench
+/// harness), on an already-published snapshot.
+fn closed_loop_ns(args: &Args, queries: &[RangeQuery], domain_size: usize) -> f64 {
+    let mut service = HistogramService::new();
+    let id = service
+        .register(tenant_config("closed", domain_size, args.seed))
+        .expect("tenant registration");
+    service
+        .ingest(id, &epoch_deltas(domain_size, 0, args.seed))
+        .expect("seed ingest");
+    service.publish(id).expect("seed publish");
+    let mut out = Vec::with_capacity(queries.len());
+    let warm = Instant::now(); // hc-lint: allow(determinism) — warm-up clock
+    while warm.elapsed() < Duration::from_millis(25) {
+        service.answer_into(id, queries, &mut out).expect("warm-up");
+    }
+    // Timed 5 ms windows (the vendored harness's --quick window size): a
+    // single batch is only tens of µs, too close to timer and frequency
+    // jitter for a ±10% gate, so each window loops the batch and the
+    // envelope takes the fastest window.
+    let windows = if args.quick { 40 } else { 80 };
+    let window_len = Duration::from_millis(5);
+    let mut best = f64::INFINITY;
+    for _ in 0..windows {
+        let t0 = Instant::now(); // hc-lint: allow(determinism) — closed-loop window clock
+        let mut iters = 0u64;
+        while t0.elapsed() < window_len {
+            service.answer_into(id, queries, &mut out).expect("answers");
+            iters += 1;
+        }
+        let per_query = t0.elapsed().as_nanos() as f64 / (iters * queries.len() as u64) as f64;
+        best = best.min(per_query);
+    }
+    best
+}
+
+/// `--verify`: bit-exact serving under concurrency, with HC_THREADS-
+/// invariant output.
+fn run_verify(args: &Args) {
+    let domain_size = if args.quick { 64 } else { 256 };
+    let publishes = if args.quick { 6 } else { 12 };
+    let queries = query_stream(domain_size, 32, args.seed);
+
+    // Serial oracle: the same tenant configuration stepped through the same
+    // ingest/publish sequence, recording every epoch's batch answers.
+    let mut oracle = HistogramService::new();
+    let oracle_id = oracle
+        .register(tenant_config("verify", domain_size, args.seed))
+        .expect("oracle registration");
+    let mut expected: Vec<Vec<f64>> = Vec::with_capacity(publishes + 1);
+    let mut batch = Vec::new();
+    let epoch = oracle
+        .answer_into(oracle_id, &queries, &mut batch)
+        .expect("oracle epoch 0");
+    assert_eq!(epoch, 0);
+    expected.push(batch.clone());
+    for e in 0..publishes {
+        oracle
+            .ingest(oracle_id, &epoch_deltas(domain_size, e, args.seed))
+            .expect("oracle ingest");
+        oracle.publish(oracle_id).expect("oracle publish");
+        oracle
+            .answer_into(oracle_id, &queries, &mut batch)
+            .expect("oracle answers");
+        expected.push(batch.clone());
+    }
+
+    // Live service: readers race the publisher; every batch they answer
+    // must equal the oracle's batch for the epoch the cell reported.
+    let mut service = HistogramService::new();
+    let id = service
+        .register(tenant_config("verify", domain_size, args.seed))
+        .expect("registration");
+    let readers = effective_threads(4);
+    verify_concurrently(
+        &service,
+        id,
+        domain_size,
+        &queries,
+        &expected,
+        publishes,
+        readers,
+        args,
+    );
+
+    // Everything printed below is a pure function of the seed — the
+    // subprocess test diffs this byte-for-byte across HC_THREADS values.
+    println!("serve_load --verify: domain {domain_size}, {publishes} publishes, 32-query batches");
+    for (e, batch) in expected.iter().enumerate() {
+        let total: f64 = batch.iter().sum();
+        println!(
+            "  epoch {e:>2}: batch answers sum {total:?}, first {:?}, last {:?}",
+            batch[0],
+            batch[batch.len() - 1]
+        );
+    }
+    for (purpose, eps) in service.ledger(id).expect("ledger") {
+        println!("  ledger {purpose}: {eps:?}");
+    }
+    println!(
+        "  remaining budget: {:?}",
+        service.remaining_budget(id).expect("budget")
+    );
+    println!("verify: every concurrent batch matched a published epoch bit-for-bit");
+}
+
+#[allow(clippy::too_many_arguments)]
+fn verify_concurrently(
+    service: &HistogramService,
+    id: TenantId,
+    domain_size: usize,
+    queries: &[RangeQuery],
+    expected: &[Vec<f64>],
+    publishes: usize,
+    readers: usize,
+    args: &Args,
+) {
+    std::thread::scope(|scope| {
+        for _ in 0..readers {
+            scope.spawn(move || {
+                let mut out = Vec::with_capacity(queries.len());
+                loop {
+                    let epoch = service
+                        .answer_into(id, queries, &mut out)
+                        .expect("concurrent answers");
+                    assert!(epoch < expected.len(), "epoch beyond publish count");
+                    assert_eq!(
+                        out, expected[epoch],
+                        "torn or non-deterministic batch at epoch {epoch}"
+                    );
+                    if epoch == publishes {
+                        return;
+                    }
+                }
+            });
+        }
+        for e in 0..publishes {
+            service
+                .ingest(id, &epoch_deltas(domain_size, e, args.seed))
+                .expect("ingest");
+            service.publish(id).expect("publish");
+        }
+    });
+}
+
+fn main() {
+    let args = parse_args();
+    if args.verify {
+        run_verify(&args);
+    } else {
+        run_timing(&args);
+    }
+}

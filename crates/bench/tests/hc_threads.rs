@@ -64,3 +64,28 @@ fn ablation_nonneg_is_bit_identical_across_hc_threads() {
         &["--quick", "--trials", "3", "--seed", "7"],
     );
 }
+
+/// The serving layer's half of the contract (PR 7): `serve_load --verify`
+/// races reader threads against a publisher and asserts every answered
+/// batch matches one precomputed serial snapshot bit for bit — never a
+/// torn mix of epochs — then prints only seed-determined facts. Running
+/// the subprocess across `HC_THREADS` ∈ {1, 2, 4} (single reader, even
+/// split, over-subscribed on small runners) pins both halves: no torn
+/// reads at any width, and byte-identical output regardless of width.
+#[test]
+fn serve_load_verify_is_bit_identical_across_hc_threads() {
+    let bin = env!("CARGO_BIN_EXE_serve_load");
+    let args = &["--verify", "--quick", "--seed", "7"];
+    let unset = run(bin, args, None);
+    assert!(
+        unset.contains("matched a published epoch bit-for-bit"),
+        "verify mode did not reach its final check:\n{unset}"
+    );
+    for threads in ["1", "2", "4"] {
+        let pinned = run(bin, args, Some(threads));
+        assert_eq!(
+            pinned, unset,
+            "serve_load --verify output changed under HC_THREADS={threads}"
+        );
+    }
+}

@@ -66,8 +66,8 @@ pub use error::{mean_absolute_error, per_position_squared_error, sum_squared_err
 pub use hier::{enforce_nonnegativity, hierarchical_inference, ConsistentTree};
 pub use isotonic::{isotonic_regression, isotonic_regression_weighted, minmax_reference};
 pub use snapshot::{
-    ConsistentSnapshot, ReleaseStrategy, SizePrediction, StrategyPlan, StrategyPlanner,
-    SubtreeServer,
+    union_bound_interval, ConsistentSnapshot, ReleaseStrategy, SizePrediction, StrategyPlan,
+    StrategyPlanner, SubtreeServer,
 };
 pub use unattributed::{SortedRelease, UnattributedHistogram};
 pub use universal::{

@@ -37,9 +37,11 @@ use crate::engine::effective_threads;
 use crate::theory;
 use crate::universal::Rounding;
 
-/// Exact-integer ceiling for f64 prefix sums: every partial sum below `2^53`
-/// is represented exactly, so prefix differences reproduce direct summation
-/// bit for bit.
+/// Exact-integer ceiling for f64 prefix sums: every integer partial sum up
+/// to **and including** `2^53` is represented exactly (the first
+/// unrepresentable integer is `2^53 + 1`), so prefix differences reproduce
+/// direct summation bit for bit as long as the total stays at or below this
+/// bound.
 const EXACT_F64_INT: u64 = 1 << 53;
 
 /// Batched prefix-difference kernel shared by [`ConsistentSnapshot`] and
@@ -149,12 +151,15 @@ impl ConsistentSnapshot {
     }
 
     /// A snapshot of the *true* counts — exact O(1) truth for experiment
-    /// scoring loops. Requires the total count to stay below `2^53` so every
-    /// prefix partial sum is an exact f64 integer and range answers
-    /// reproduce [`Histogram::range_count`] exactly.
+    /// scoring loops. Requires the total count to stay at or below `2^53` so
+    /// every prefix partial sum is an exact f64 integer and range answers
+    /// reproduce [`Histogram::range_count`] exactly. The bound is inclusive:
+    /// `2^53` itself is exactly representable, and every partial sum along
+    /// the way is a smaller integer, so the prefix stays exact right up to
+    /// (and including) the boundary — `tests` pins the exact-boundary total.
     pub fn from_histogram(histogram: &Histogram) -> Self {
         assert!(
-            histogram.total() < EXACT_F64_INT,
+            histogram.total() <= EXACT_F64_INT,
             "total count too large for exact f64 prefix sums"
         );
         let mut snapshot = Self {
@@ -182,6 +187,21 @@ impl ConsistentSnapshot {
         );
         self.noise_scale = Some(noise_scale);
         self
+    }
+
+    /// Replaces (or clears) the attached noise scale in place — the rebuild
+    /// paths' companion to [`Self::with_noise_scale`]: a snapshot reused
+    /// across releases via `rebuild_from_*` keeps its old scale otherwise,
+    /// which would silently misprice [`Self::confidence`] when the new
+    /// release was drawn at a different ε.
+    pub fn set_noise_scale(&mut self, noise_scale: Option<f64>) {
+        if let Some(scale) = noise_scale {
+            assert!(
+                scale > 0.0 && scale.is_finite(),
+                "noise scale must be positive"
+            );
+        }
+        self.noise_scale = noise_scale;
     }
 
     /// Rebuilds in place from a leaf slice — zero allocations once the
@@ -294,15 +314,41 @@ impl ConsistentSnapshot {
     /// the interval stays conservative in practice.
     pub fn confidence(&self, interval: Interval, level: f64) -> Option<ConfidenceInterval> {
         let scale = self.noise_scale?;
-        let m = interval.len() as f64;
-        let per_term_level = 1.0 - (1.0 - level) / m;
-        let half = m * laplace_half_width(scale, per_term_level);
         let center = self.answer(interval);
-        Some(ConfidenceInterval {
-            lo: center - half,
-            hi: center + half,
+        Some(union_bound_interval(scale, interval.len(), level, center))
+    }
+}
+
+/// The union-bound interval arithmetic behind
+/// [`ConsistentSnapshot::confidence`], total in `m` (the number of released
+/// counts the range sums).
+///
+/// The historical in-line formula divided by `m`: at `m = 0` the per-term
+/// level became `-inf` and the half-width NaN (or an assert, depending on
+/// the quantile path). [`Interval`] is structurally non-empty, so
+/// `confidence` itself can never reach `m = 0` — but serving layers with
+/// emptiness-capable wire queries (`hc-serve`'s half-open `RangeQuery`) sum
+/// zero released counts for an empty range, whose answer is exactly `0.0`
+/// with no noise at all. The correct interval there is the exact zero-width
+/// interval at the center, which is what this helper returns — never NaN.
+/// For `m ≥ 1` the arithmetic is bit-identical to the historical formula.
+pub fn union_bound_interval(scale: f64, m: usize, level: f64, center: f64) -> ConfidenceInterval {
+    if m == 0 {
+        // A sum over zero released counts is exact: zero-width coverage at
+        // any level.
+        return ConfidenceInterval {
+            lo: center,
+            hi: center,
             level,
-        })
+        };
+    }
+    let m = m as f64;
+    let per_term_level = 1.0 - (1.0 - level) / m;
+    let half = m * laplace_half_width(scale, per_term_level);
+    ConfidenceInterval {
+        lo: center - half,
+        hi: center + half,
+        level,
     }
 }
 
@@ -987,6 +1033,73 @@ mod tests {
         let shape = TreeShape::new(2, 3);
         let snap = ConsistentSnapshot::from_tree_values(&shape, &[0.0; 7], 3);
         let _ = snap.answer(Interval::new(0, 3));
+    }
+
+    #[test]
+    fn union_bound_interval_is_total_in_m() {
+        // Regression: the historical inline formula divided by m, so m = 0
+        // produced a -inf per-term level and a NaN (or panicking) half-width.
+        // The helper must return the exact zero-width interval instead.
+        let empty = union_bound_interval(2.0, 0, 0.9, 7.5);
+        assert_eq!((empty.lo, empty.hi, empty.level), (7.5, 7.5, 0.9));
+        assert_eq!(empty.width(), 0.0);
+        assert!(empty.contains(7.5));
+        // m >= 1 reproduces the historical arithmetic bit for bit.
+        let m = 5usize;
+        let level = 0.9;
+        let scale = 2.0;
+        let center = -3.25;
+        let got = union_bound_interval(scale, m, level, center);
+        let mf = m as f64;
+        let half = mf * laplace_half_width(scale, 1.0 - (1.0 - level) / mf);
+        assert_eq!(got.lo.to_bits(), (center - half).to_bits());
+        assert_eq!(got.hi.to_bits(), (center + half).to_bits());
+        // Width grows with m (union bound pays per summed count).
+        assert!(union_bound_interval(scale, 6, level, center).width() > got.width());
+    }
+
+    #[test]
+    fn histogram_snapshot_accepts_the_exact_2_53_boundary_total() {
+        use hc_data::Domain;
+        // 2^53 is exactly representable, and every partial sum on the way is
+        // a smaller integer — the bound is inclusive. Pin the exact-boundary
+        // total end to end: build, answer, and match range_count exactly.
+        let boundary = 1u64 << 53;
+        let counts = vec![boundary - 3, 2, 0, 1];
+        let h = Histogram::from_counts(Domain::new("x", 4).unwrap(), counts);
+        assert_eq!(h.total(), boundary);
+        let snap = ConsistentSnapshot::from_histogram(&h);
+        assert_eq!(snap.total(), boundary as f64);
+        for (lo, hi) in [(0usize, 3usize), (0, 0), (1, 3), (3, 3)] {
+            let q = Interval::new(lo, hi);
+            assert_eq!(snap.answer(q), h.range_count(q) as f64, "q = {q}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "total count too large")]
+    fn histogram_snapshot_rejects_totals_past_the_boundary() {
+        use hc_data::Domain;
+        // 2^53 + 1 is the first unrepresentable integer: the prefix can no
+        // longer promise exactness, so construction must refuse.
+        let h = Histogram::from_counts(Domain::new("x", 2).unwrap(), vec![1u64 << 53, 1]);
+        let _ = ConsistentSnapshot::from_histogram(&h);
+    }
+
+    #[test]
+    fn set_noise_scale_replaces_and_clears() {
+        let shape = TreeShape::new(2, 4);
+        let values = random_values(shape.nodes(), 61);
+        let mut snap =
+            ConsistentSnapshot::from_tree_values(&shape, &values, 8).with_noise_scale(2.0);
+        let q = Interval::new(1, 5);
+        let wide = snap.confidence(q, 0.9).unwrap();
+        snap.set_noise_scale(Some(1.0));
+        let tight = snap.confidence(q, 0.9).unwrap();
+        assert!(tight.width() < wide.width());
+        snap.set_noise_scale(None);
+        assert!(snap.confidence(q, 0.9).is_none());
+        assert_eq!(snap.noise_scale(), None);
     }
 
     #[test]

@@ -150,6 +150,26 @@ pub const HOT_FUNCTIONS: &[(&str, &[&str])] = &[
         ],
     ),
     ("crates/noise/src/backend.rs", &["fast_ln"]),
+    (
+        "crates/serve/src/cell.rs",
+        &[
+            // The epoch-swap read and publish paths: a reader pin must cost
+            // two atomics and an Arc bump, never a fresh owned value, and
+            // the publisher may allocate only through `Arc::new(snapshot)`
+            // (taking ownership of the prebuilt snapshot, not copying it).
+            "load", "publish", "epoch",
+        ],
+    ),
+    (
+        "crates/serve/src/service.rs",
+        &[
+            // The serving read path: validation + pinned prefix lookups
+            // into a caller-owned buffer; errors are plain-field variants
+            // so the failure paths stay allocation-free too.
+            "answer",
+            "answer_into",
+        ],
+    ),
 ];
 
 /// Token sequences forbidden inside hot-path kernels. `resize`, `reserve`,

@@ -1,0 +1,35 @@
+//! A long-lived, multi-tenant serving layer over the paper's release +
+//! constrained-inference pipeline.
+//!
+//! The rest of the workspace is batch-shaped: build a histogram, release it
+//! once, infer, measure. This crate adds the service shape a deployment
+//! needs — data arriving continuously, many tenants with separate privacy
+//! accounts, and readers that must never block on a refresh:
+//!
+//! * [`SnapshotCell`] — the epoch-based snapshot swap. Readers pin the
+//!   current [`hc_core::ConsistentSnapshot`] wait-free; a writer rebuilds
+//!   off-path and publishes atomically. Published answers are bit-identical
+//!   to the serial pipeline at the same seeds.
+//! * [`HistogramService`] / [`TenantConfig`] — per-tenant domain shape,
+//!   [`hc_core::ReleaseStrategy`], and a [`hc_mech::PrivacyBudget`] ledger
+//!   debited once per release under sequential composition.
+//! * [`RangeQuery`] — the half-open wire query; unlike the core's
+//!   structurally non-empty `Interval`, empty client requests are
+//!   representable and answered exactly.
+//!
+//! The load-test binary (`crates/bench/src/bin/serve_load.rs`) drives this
+//! crate open-loop and feeds its latency envelope into the CI benchmark
+//! gate; its `--verify` mode and the `hc_threads` subprocess test pin
+//! serving determinism across `HC_THREADS` ∈ {1, 2, 4}.
+
+#![forbid(unsafe_code)]
+#![deny(rust_2018_idioms)]
+#![warn(missing_docs)]
+
+pub mod cell;
+pub mod query;
+pub mod service;
+
+pub use cell::{PinnedSnapshot, SnapshotCell};
+pub use query::RangeQuery;
+pub use service::{HistogramService, PublishReport, ServeError, TenantConfig, TenantId};

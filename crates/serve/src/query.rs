@@ -1,0 +1,104 @@
+//! The service's wire-level range query.
+//!
+//! The core [`hc_data::Interval`] is *structurally non-empty* (its
+//! constructor asserts `lo <= hi` over inclusive bounds), which is the
+//! right invariant for the inference engines but leaves a long-lived
+//! service no way to express "a client asked for nothing". [`RangeQuery`]
+//! is the half-open `[lo, hi)` form used at the service boundary: empty
+//! ranges are representable (`lo == hi`), answered exactly (sum over
+//! nothing is `0.0`, confidence width zero via
+//! [`hc_core::union_bound_interval`] at `m = 0`), and non-empty ranges
+//! lower to an [`Interval`] for the snapshot's O(1) prefix serving.
+
+use hc_data::Interval;
+
+/// A half-open range query `[lo, hi)` over histogram bins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RangeQuery {
+    lo: usize,
+    hi: usize,
+}
+
+impl RangeQuery {
+    /// The query `[lo, hi)`. Empty when `lo == hi`.
+    ///
+    /// # Panics
+    ///
+    /// If `lo > hi` — malformed on any domain, unlike out-of-domain bounds
+    /// which the service reports per-tenant as
+    /// [`ServeError::QueryOutOfRange`](crate::ServeError::QueryOutOfRange).
+    pub fn new(lo: usize, hi: usize) -> Self {
+        assert!(lo <= hi, "range query bounds out of order");
+        Self { lo, hi }
+    }
+
+    /// The inclusive interval `[lo, hi]`, as a half-open `[lo, hi + 1)`.
+    pub fn from_interval(interval: Interval) -> Self {
+        Self {
+            lo: interval.lo(),
+            hi: interval.hi() + 1,
+        }
+    }
+
+    /// Inclusive lower bound.
+    #[inline]
+    pub fn lo(&self) -> usize {
+        self.lo
+    }
+
+    /// Exclusive upper bound.
+    #[inline]
+    pub fn hi(&self) -> usize {
+        self.hi
+    }
+
+    /// Number of bins covered.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.hi - self.lo
+    }
+
+    /// Whether the query covers no bins.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.lo == self.hi
+    }
+
+    /// Lowers to the core's inclusive [`Interval`]; `None` when empty.
+    #[inline]
+    pub fn to_interval(self) -> Option<Interval> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(Interval::new(self.lo, self.hi - 1))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_with_interval() {
+        let q = RangeQuery::from_interval(Interval::new(2, 5));
+        assert_eq!((q.lo(), q.hi(), q.len()), (2, 6, 4));
+        assert_eq!(q.to_interval(), Some(Interval::new(2, 5)));
+    }
+
+    #[test]
+    fn empty_queries_are_representable() {
+        let q = RangeQuery::new(3, 3);
+        assert!(q.is_empty());
+        assert_eq!(q.len(), 0);
+        assert_eq!(q.to_interval(), None);
+        // Empty at the domain origin too.
+        assert_eq!(RangeQuery::new(0, 0).to_interval(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "bounds out of order")]
+    fn inverted_bounds_are_rejected() {
+        let _ = RangeQuery::new(4, 2);
+    }
+}

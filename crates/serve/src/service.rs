@@ -1,0 +1,796 @@
+//! The multi-tenant histogram service: per-tenant budget ledgers, delta
+//! ingest, strategy-dispatched releases, and epoch-swapped serving.
+//!
+//! Each tenant owns a true histogram (never served directly), a
+//! [`PrivacyBudget`] account debited once per release under sequential
+//! composition, and a [`SnapshotCell`] holding the currently-served
+//! [`ConsistentSnapshot`]. Ingest accumulates count deltas behind the
+//! tenant's write lock; a release — on the configured cadence or on demand
+//! — spends `ε` from the ledger, runs the tenant's [`ReleaseStrategy`]
+//! through the allocation-free release+inference pipeline
+//! ([`BatchInference::release_and_infer`] for the hierarchical path), and
+//! publishes the fresh snapshot atomically. Readers never block and never
+//! see the true counts: only published post-inference snapshots.
+//!
+//! Determinism: release `i` of a tenant draws its noise from
+//! `SeedStream::new(seed).rng(i)`, so the served answers are bit-identical
+//! to running the same strategy serially at the same seeds — pinned by the
+//! crate's tests and the `serve_load --verify` subprocess check across
+//! `HC_THREADS` settings.
+
+use std::fmt;
+use std::sync::Mutex;
+
+use hc_core::{
+    BatchInference, BudgetSplit, BudgetedHierarchical, ConsistentSnapshot, FlatUniversal,
+    HierarchicalUniversal, ReleaseStrategy, Rounding,
+};
+use hc_data::{Domain, Histogram};
+use hc_mech::{
+    BudgetError, ConfidenceInterval, Epsilon, HierarchicalQuery, PreparedMechanism, PrivacyBudget,
+    TreeShape,
+};
+use hc_noise::{NoiseBackend, SeedStream};
+
+use crate::cell::{PinnedSnapshot, SnapshotCell};
+use crate::query::RangeQuery;
+
+/// Errors the service reports to clients. Variants carry plain fields (no
+/// boxed payloads, no formatting on construction) so the hot read path can
+/// return them without allocating.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// No tenant registered under the given id.
+    UnknownTenant {
+        /// The id presented.
+        tenant: usize,
+    },
+    /// A tenant with this name is already registered.
+    DuplicateTenant {
+        /// The conflicting name.
+        name: String,
+    },
+    /// Tenants must serve at least one bin.
+    EmptyDomain,
+    /// An ingested delta addressed a bin outside the tenant's domain.
+    BinOutOfRange {
+        /// The offending bin index.
+        bin: usize,
+        /// The tenant's domain size.
+        domain_size: usize,
+    },
+    /// A query's exclusive upper bound exceeded the tenant's domain.
+    QueryOutOfRange {
+        /// The query's exclusive upper bound.
+        hi: usize,
+        /// The tenant's domain size.
+        domain_size: usize,
+    },
+    /// The privacy-budget ledger refused the spend.
+    Budget(BudgetError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::UnknownTenant { tenant } => write!(f, "unknown tenant id {tenant}"),
+            ServeError::DuplicateTenant { name } => {
+                write!(f, "tenant {name:?} is already registered")
+            }
+            ServeError::EmptyDomain => write!(f, "tenant domain must be non-empty"),
+            ServeError::BinOutOfRange { bin, domain_size } => {
+                write!(f, "bin {bin} outside domain of size {domain_size}")
+            }
+            ServeError::QueryOutOfRange { hi, domain_size } => {
+                write!(f, "query bound {hi} outside domain of size {domain_size}")
+            }
+            ServeError::Budget(e) => write!(f, "budget refused: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<BudgetError> for ServeError {
+    fn from(e: BudgetError) -> Self {
+        ServeError::Budget(e)
+    }
+}
+
+/// Opaque handle to a registered tenant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TenantId(usize);
+
+/// Per-tenant configuration, fixed at registration.
+#[derive(Debug, Clone)]
+pub struct TenantConfig {
+    name: String,
+    domain_size: usize,
+    total_epsilon: f64,
+    epsilon_per_release: f64,
+    strategy: ReleaseStrategy,
+    backend: NoiseBackend,
+    refresh_every: u64,
+    seed: u64,
+}
+
+impl TenantConfig {
+    /// A tenant named `name` over `domain_size` bins, with the defaults:
+    /// total budget ε = 1.0 spent ε = 0.1 per release, binary hierarchical
+    /// releases, reference noise backend, automatic release every 1000
+    /// ingested deltas, seed 0.
+    pub fn new(name: impl Into<String>, domain_size: usize) -> Self {
+        Self {
+            name: name.into(),
+            domain_size,
+            total_epsilon: 1.0,
+            epsilon_per_release: 0.1,
+            strategy: ReleaseStrategy::Hierarchical { branching: 2 },
+            backend: NoiseBackend::Reference,
+            refresh_every: 1000,
+            seed: 0,
+        }
+    }
+
+    /// Sets the lifetime privacy budget and the ε debited per release.
+    /// Sequential composition caps the tenant at
+    /// `floor(total / per_release)` releases.
+    pub fn with_budget(mut self, total_epsilon: f64, epsilon_per_release: f64) -> Self {
+        self.total_epsilon = total_epsilon;
+        self.epsilon_per_release = epsilon_per_release;
+        self
+    }
+
+    /// Sets the release strategy (flat `L̃`, hierarchical `H̄`, or budgeted).
+    pub fn with_strategy(mut self, strategy: ReleaseStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Sets the Laplace sampling backend.
+    pub fn with_backend(mut self, backend: NoiseBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Release automatically once this many deltas have been ingested since
+    /// the last release. `0` disables the cadence: releases happen only via
+    /// [`HistogramService::publish`].
+    pub fn with_refresh_every(mut self, deltas: u64) -> Self {
+        self.refresh_every = deltas;
+        self
+    }
+
+    /// Sets the master seed for the tenant's noise stream; release `i`
+    /// draws from `SeedStream::new(seed).rng(i)`.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The tenant's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The tenant's domain size.
+    pub fn domain_size(&self) -> usize {
+        self.domain_size
+    }
+}
+
+/// The strategy-specific release machinery, built once at registration so
+/// the per-release path reuses prepared queries and engine scratch. The
+/// hierarchical payloads are boxed: `TreeShape` carries an inline offset
+/// array of over 500 bytes, and this enum lives behind the tenant lock —
+/// built once, matched once per release, never on the read path.
+enum Pipeline {
+    Flat { mech: FlatUniversal },
+    Hierarchical(Box<HierPipeline>),
+    Budgeted(Box<BudgetedPipeline>),
+}
+
+struct HierPipeline {
+    prepared: PreparedMechanism<HierarchicalQuery>,
+    shape: TreeShape,
+    engine: BatchInference,
+    inferred: Vec<f64>,
+}
+
+struct BudgetedPipeline {
+    mech: BudgetedHierarchical,
+    engine: BatchInference,
+}
+
+/// Everything behind the tenant's write lock: the true counts, the budget
+/// ledger, and the release pipeline. Readers never touch this.
+struct WriteState {
+    counts: Vec<u64>,
+    domain: Domain,
+    pending_deltas: u64,
+    releases: u64,
+    budget: PrivacyBudget,
+    pipeline: Pipeline,
+}
+
+struct Tenant {
+    config: TenantConfig,
+    cell: SnapshotCell,
+    write: Mutex<WriteState>,
+}
+
+/// Outcome of one successful release+publish.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PublishReport {
+    /// The epoch the new snapshot was published at.
+    pub epoch: usize,
+    /// The zero-based index of this release in the tenant's noise stream.
+    pub release_index: u64,
+    /// The ε debited from the ledger for this release.
+    pub spent: f64,
+    /// Budget remaining after the debit.
+    pub remaining: f64,
+}
+
+/// A long-lived, multi-tenant histogram service.
+///
+/// Registration and ingest go through `&self` with interior locking per
+/// tenant, so one service value can be shared across threads; reads go
+/// through each tenant's lock-free [`SnapshotCell`].
+///
+/// ```
+/// use hc_serve::{HistogramService, RangeQuery, TenantConfig};
+///
+/// let mut service = HistogramService::new();
+/// let id = service
+///     .register(TenantConfig::new("taxi", 64).with_refresh_every(0))
+///     .unwrap();
+/// service.ingest(id, &[(3, 10), (40, 2)]).unwrap();
+/// let report = service.publish(id).unwrap();
+/// assert_eq!(report.epoch, 1);
+/// let noisy = service.answer(id, RangeQuery::new(0, 64)).unwrap();
+/// assert!(noisy.is_finite());
+/// ```
+#[derive(Default)]
+pub struct HistogramService {
+    // A Vec, not a map: tenant counts are small, ids are dense indices, and
+    // iteration order stays deterministic for ledger dumps and tests.
+    tenants: Vec<Tenant>,
+}
+
+impl HistogramService {
+    /// An empty service.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of registered tenants.
+    pub fn tenant_count(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// Registers a tenant and publishes its epoch-0 snapshot: the all-zeros
+    /// histogram, which depends on no data and therefore spends no budget.
+    pub fn register(&mut self, config: TenantConfig) -> Result<TenantId, ServeError> {
+        if config.domain_size == 0 {
+            return Err(ServeError::EmptyDomain);
+        }
+        if self.tenants.iter().any(|t| t.config.name == config.name) {
+            return Err(ServeError::DuplicateTenant {
+                name: config.name.clone(),
+            });
+        }
+        let epsilon = Epsilon::new(config.epsilon_per_release)?;
+        let total = Epsilon::new(config.total_epsilon)?;
+        let domain =
+            Domain::new(config.name.as_str(), config.domain_size).expect("size checked above");
+        let pipeline = match config.strategy {
+            ReleaseStrategy::Flat => Pipeline::Flat {
+                mech: FlatUniversal::new(epsilon).with_backend(config.backend),
+            },
+            ReleaseStrategy::Hierarchical { branching } => {
+                let mech =
+                    HierarchicalUniversal::new(epsilon, branching).with_backend(config.backend);
+                let shape = TreeShape::for_domain(config.domain_size, branching);
+                Pipeline::Hierarchical(Box::new(HierPipeline {
+                    prepared: mech.prepare(config.domain_size),
+                    engine: BatchInference::for_shape(&shape),
+                    inferred: Vec::new(),
+                    shape,
+                }))
+            }
+            ReleaseStrategy::Budgeted { branching, ratio } => {
+                let shape = TreeShape::for_domain(config.domain_size, branching);
+                Pipeline::Budgeted(Box::new(BudgetedPipeline {
+                    mech: BudgetedHierarchical::new(
+                        epsilon,
+                        branching,
+                        BudgetSplit::Geometric { ratio },
+                    )
+                    .with_backend(config.backend),
+                    engine: BatchInference::for_shape(&shape),
+                }))
+            }
+        };
+        let write = WriteState {
+            counts: vec![0; config.domain_size],
+            domain,
+            pending_deltas: 0,
+            releases: 0,
+            budget: PrivacyBudget::new(total),
+            pipeline,
+        };
+        let initial =
+            ConsistentSnapshot::from_leaves(&vec![0.0; config.domain_size], config.domain_size);
+        let id = TenantId(self.tenants.len());
+        self.tenants.push(Tenant {
+            config,
+            cell: SnapshotCell::new(initial),
+            write: Mutex::new(write),
+        });
+        Ok(id)
+    }
+
+    /// Looks a tenant up by name.
+    pub fn tenant_id(&self, name: &str) -> Option<TenantId> {
+        self.tenants
+            .iter()
+            .position(|t| t.config.name == name)
+            .map(TenantId)
+    }
+
+    fn tenant(&self, id: TenantId) -> Result<&Tenant, ServeError> {
+        self.tenants
+            .get(id.0)
+            .ok_or(ServeError::UnknownTenant { tenant: id.0 })
+    }
+
+    /// Ingests `(bin, count)` deltas into the tenant's true histogram.
+    ///
+    /// Validates every bin before applying any delta (all-or-nothing). If
+    /// the tenant's refresh cadence fires and budget remains, a release is
+    /// published and its report returned; if the cadence fires but the
+    /// ledger is exhausted, ingest still succeeds and returns `Ok(None)` —
+    /// the service keeps serving the last published snapshot rather than
+    /// over-spending.
+    pub fn ingest(
+        &self,
+        id: TenantId,
+        deltas: &[(usize, u64)],
+    ) -> Result<Option<PublishReport>, ServeError> {
+        let tenant = self.tenant(id)?;
+        let mut state = tenant.write.lock().expect("tenant lock never poisoned");
+        let domain_size = tenant.config.domain_size;
+        if let Some(&(bin, _)) = deltas.iter().find(|&&(bin, _)| bin >= domain_size) {
+            return Err(ServeError::BinOutOfRange { bin, domain_size });
+        }
+        for &(bin, count) in deltas {
+            state.counts[bin] += count;
+        }
+        state.pending_deltas += deltas.len() as u64;
+        let cadence = tenant.config.refresh_every;
+        if cadence > 0 && state.pending_deltas >= cadence {
+            match Self::release_locked(tenant, &mut state) {
+                Ok(report) => return Ok(Some(report)),
+                Err(ServeError::Budget(BudgetError::Exhausted { .. })) => return Ok(None),
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(None)
+    }
+
+    /// Releases and publishes now, regardless of cadence. Spends
+    /// `epsilon_per_release` from the ledger; fails with
+    /// [`ServeError::Budget`] when exhausted.
+    pub fn publish(&self, id: TenantId) -> Result<PublishReport, ServeError> {
+        let tenant = self.tenant(id)?;
+        let mut state = tenant.write.lock().expect("tenant lock never poisoned");
+        Self::release_locked(tenant, &mut state)
+    }
+
+    /// One release under the tenant's write lock: debit the ledger, derive
+    /// the release RNG, run the strategy pipeline, publish the snapshot.
+    fn release_locked(
+        tenant: &Tenant,
+        state: &mut WriteState,
+    ) -> Result<PublishReport, ServeError> {
+        let release_index = state.releases;
+        let epsilon = Epsilon::new(tenant.config.epsilon_per_release)?;
+        let spent = state
+            .budget
+            .spend(format!("release-{release_index}"), epsilon)?
+            .value();
+        let mut rng = SeedStream::new(tenant.config.seed).rng(release_index);
+        let histogram = Histogram::from_counts(state.domain.clone(), state.counts.clone());
+        let domain_size = tenant.config.domain_size;
+        let snapshot = match &mut state.pipeline {
+            Pipeline::Flat { mech } => mech.release(&histogram, &mut rng).snapshot(Rounding::None),
+            Pipeline::Hierarchical(hier) => {
+                let HierPipeline {
+                    prepared,
+                    shape,
+                    engine,
+                    inferred,
+                } = hier.as_mut();
+                engine.release_and_infer(prepared, &histogram, &mut rng, inferred);
+                let mut snapshot =
+                    ConsistentSnapshot::from_tree_values(shape, inferred, domain_size);
+                snapshot.set_noise_scale(Some(prepared.noise_scale()));
+                snapshot
+            }
+            Pipeline::Budgeted(budgeted) => {
+                let BudgetedPipeline { mech, engine } = budgeted.as_mut();
+                let release = mech.release(&histogram, &mut rng);
+                let tree = release.infer_with(engine);
+                // Per-level scales differ under a geometric split, so no
+                // single Laplace scale is attached: confidence queries
+                // report `None` rather than a wrong union bound.
+                ConsistentSnapshot::from_tree_values(
+                    release.shape(),
+                    tree.node_values(),
+                    domain_size,
+                )
+            }
+        };
+        state.releases += 1;
+        state.pending_deltas = 0;
+        let epoch = tenant.cell.publish(snapshot);
+        Ok(PublishReport {
+            epoch,
+            release_index,
+            spent,
+            remaining: state.budget.remaining(),
+        })
+    }
+
+    /// Answers one range query from the tenant's current snapshot. Empty
+    /// queries answer exactly `0.0`.
+    pub fn answer(&self, id: TenantId, query: RangeQuery) -> Result<f64, ServeError> {
+        let tenant = self.tenant(id)?;
+        let domain_size = tenant.config.domain_size;
+        if query.hi() > domain_size {
+            return Err(ServeError::QueryOutOfRange {
+                hi: query.hi(),
+                domain_size,
+            });
+        }
+        let pinned = tenant.cell.load();
+        Ok(match query.to_interval() {
+            Some(interval) => pinned.answer(interval),
+            None => 0.0,
+        })
+    }
+
+    /// Answers a batch of range queries into a caller-owned buffer —
+    /// allocation-free after `out` has warmed up, and every answer comes
+    /// from the *same* pinned snapshot (one epoch, never a mix).
+    pub fn answer_into(
+        &self,
+        id: TenantId,
+        queries: &[RangeQuery],
+        out: &mut Vec<f64>,
+    ) -> Result<usize, ServeError> {
+        let tenant = self.tenant(id)?;
+        let domain_size = tenant.config.domain_size;
+        for query in queries {
+            if query.hi() > domain_size {
+                return Err(ServeError::QueryOutOfRange {
+                    hi: query.hi(),
+                    domain_size,
+                });
+            }
+        }
+        out.clear();
+        out.reserve(queries.len());
+        let pinned = tenant.cell.load();
+        for query in queries {
+            out.push(match query.to_interval() {
+                Some(interval) => pinned.answer(interval),
+                None => 0.0,
+            });
+        }
+        Ok(pinned.epoch())
+    }
+
+    /// A union-bound confidence interval for one query at `level`, from the
+    /// current snapshot. `None` when the serving snapshot carries no single
+    /// noise scale (budgeted releases, or the unreleased epoch-0 zeros).
+    /// Empty queries get the exact zero-width interval at `0.0`.
+    pub fn confidence(
+        &self,
+        id: TenantId,
+        query: RangeQuery,
+        level: f64,
+    ) -> Result<Option<ConfidenceInterval>, ServeError> {
+        let tenant = self.tenant(id)?;
+        let domain_size = tenant.config.domain_size;
+        if query.hi() > domain_size {
+            return Err(ServeError::QueryOutOfRange {
+                hi: query.hi(),
+                domain_size,
+            });
+        }
+        let pinned = tenant.cell.load();
+        Ok(match query.to_interval() {
+            Some(interval) => pinned.confidence(interval, level),
+            None => pinned
+                .noise_scale()
+                .map(|scale| hc_core::union_bound_interval(scale, 0, level, 0.0)),
+        })
+    }
+
+    /// Pins the tenant's currently-served snapshot (stays valid across
+    /// later publishes).
+    pub fn snapshot(&self, id: TenantId) -> Result<PinnedSnapshot, ServeError> {
+        Ok(self.tenant(id)?.cell.load())
+    }
+
+    /// The tenant's current serving epoch (0 = initial zeros snapshot).
+    pub fn epoch(&self, id: TenantId) -> Result<usize, ServeError> {
+        Ok(self.tenant(id)?.cell.epoch())
+    }
+
+    /// Budget remaining on the tenant's ledger.
+    pub fn remaining_budget(&self, id: TenantId) -> Result<f64, ServeError> {
+        let tenant = self.tenant(id)?;
+        let state = tenant.write.lock().expect("tenant lock never poisoned");
+        Ok(state.budget.remaining())
+    }
+
+    /// The tenant's spend ledger: `(purpose, ε)` in release order.
+    pub fn ledger(&self, id: TenantId) -> Result<Vec<(String, f64)>, ServeError> {
+        let tenant = self.tenant(id)?;
+        let state = tenant.write.lock().expect("tenant lock never poisoned");
+        Ok(state.budget.ledger().to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hc_data::Interval;
+
+    fn config(name: &str, n: usize) -> TenantConfig {
+        TenantConfig::new(name, n)
+            .with_budget(1.0, 0.25)
+            .with_refresh_every(0)
+            .with_seed(7)
+    }
+
+    #[test]
+    fn registration_validates_and_serves_zeros() {
+        let mut service = HistogramService::new();
+        assert_eq!(
+            service.register(config("t", 0)),
+            Err(ServeError::EmptyDomain)
+        );
+        let id = service.register(config("t", 16)).unwrap();
+        assert_eq!(
+            service.register(config("t", 8)).unwrap_err(),
+            ServeError::DuplicateTenant { name: "t".into() }
+        );
+        assert_eq!(service.tenant_id("t"), Some(id));
+        assert_eq!(service.tenant_id("missing"), None);
+        assert_eq!(service.epoch(id).unwrap(), 0);
+        assert_eq!(service.answer(id, RangeQuery::new(0, 16)).unwrap(), 0.0);
+        // Epoch 0 is data-independent: the full budget is still there.
+        assert_eq!(service.remaining_budget(id).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn hierarchical_publishes_match_the_serial_pipeline_bit_for_bit() {
+        let mut service = HistogramService::new();
+        let id = service.register(config("t", 32)).unwrap();
+        service.ingest(id, &[(0, 5), (3, 1), (31, 9)]).unwrap();
+        let report = service.publish(id).unwrap();
+        assert_eq!((report.epoch, report.release_index), (1, 0));
+        assert_eq!(report.spent, 0.25);
+        assert_eq!(report.remaining, 0.75);
+
+        // Serial reference: same strategy, same seed, same release index.
+        let eps = Epsilon::new(0.25).unwrap();
+        let mut counts = vec![0u64; 32];
+        counts[0] = 5;
+        counts[3] = 1;
+        counts[31] = 9;
+        let hist = Histogram::from_counts(Domain::new("t", 32).unwrap(), counts);
+        let mut rng = SeedStream::new(7).rng(0);
+        let mut engine = BatchInference::for_shape(&TreeShape::for_domain(32, 2));
+        let expected = HierarchicalUniversal::new(eps, 2)
+            .release(&hist, &mut rng)
+            .infer_snapshot(&mut engine);
+
+        let served = service.snapshot(id).unwrap();
+        assert_eq!(served.snapshot(), &expected);
+        for (lo, hi) in [(0, 1), (0, 32), (3, 17), (31, 32)] {
+            let q = RangeQuery::new(lo, hi);
+            assert_eq!(
+                service.answer(id, q).unwrap(),
+                expected.answer(Interval::new(lo, hi - 1)),
+                "range [{lo}, {hi})"
+            );
+        }
+    }
+
+    #[test]
+    fn flat_and_budgeted_strategies_release_and_serve() {
+        let mut service = HistogramService::new();
+        let flat = service
+            .register(config("flat", 16).with_strategy(ReleaseStrategy::Flat))
+            .unwrap();
+        let budgeted = service
+            .register(
+                config("budgeted", 16).with_strategy(ReleaseStrategy::Budgeted {
+                    branching: 2,
+                    ratio: 1.5,
+                }),
+            )
+            .unwrap();
+        for id in [flat, budgeted] {
+            service.ingest(id, &[(2, 4), (9, 4)]).unwrap();
+            let report = service.publish(id).unwrap();
+            assert_eq!(report.epoch, 1);
+            let total = service.answer(id, RangeQuery::new(0, 16)).unwrap();
+            assert!(total.is_finite());
+        }
+        // Flat releases carry a single Laplace scale; budgeted ones do not.
+        let q = RangeQuery::new(2, 10);
+        assert!(service.confidence(flat, q, 0.95).unwrap().is_some());
+        assert!(service.confidence(budgeted, q, 0.95).unwrap().is_none());
+    }
+
+    #[test]
+    fn batch_answers_come_from_one_epoch() {
+        let mut service = HistogramService::new();
+        let id = service.register(config("t", 8)).unwrap();
+        service.ingest(id, &[(1, 3)]).unwrap();
+        service.publish(id).unwrap();
+        let queries = [
+            RangeQuery::new(0, 8),
+            RangeQuery::new(4, 4), // empty
+            RangeQuery::new(1, 2),
+        ];
+        let mut out = Vec::new();
+        let epoch = service.answer_into(id, &queries, &mut out).unwrap();
+        assert_eq!(epoch, 1);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[1], 0.0);
+        assert_eq!(out[0], service.answer(id, queries[0]).unwrap());
+    }
+
+    #[test]
+    fn empty_queries_answer_zero_with_zero_width_confidence() {
+        let mut service = HistogramService::new();
+        let id = service.register(config("t", 8)).unwrap();
+        service.publish(id).unwrap();
+        let empty = RangeQuery::new(5, 5);
+        assert_eq!(service.answer(id, empty).unwrap(), 0.0);
+        let ci = service.confidence(id, empty, 0.95).unwrap().unwrap();
+        assert_eq!((ci.lo, ci.hi), (0.0, 0.0));
+    }
+
+    #[test]
+    fn validation_rejects_bad_bins_queries_and_ids() {
+        let mut service = HistogramService::new();
+        let id = service.register(config("t", 8)).unwrap();
+        assert_eq!(
+            service.ingest(id, &[(2, 1), (8, 1)]).unwrap_err(),
+            ServeError::BinOutOfRange {
+                bin: 8,
+                domain_size: 8
+            }
+        );
+        // All-or-nothing: the valid delta before the bad one did not land.
+        service.publish(id).unwrap();
+        assert_eq!(service.answer(id, RangeQuery::new(0, 8)).unwrap(), {
+            let hist = Histogram::from_counts(Domain::new("t", 8).unwrap(), vec![0; 8]);
+            let mut rng = SeedStream::new(7).rng(0);
+            let mut engine = BatchInference::for_shape(&TreeShape::for_domain(8, 2));
+            HierarchicalUniversal::new(Epsilon::new(0.25).unwrap(), 2)
+                .release(&hist, &mut rng)
+                .infer_snapshot(&mut engine)
+                .answer(Interval::new(0, 7))
+        });
+        assert_eq!(
+            service.answer(id, RangeQuery::new(0, 9)).unwrap_err(),
+            ServeError::QueryOutOfRange {
+                hi: 9,
+                domain_size: 8
+            }
+        );
+        let bogus = TenantId(42);
+        assert_eq!(
+            service.answer(bogus, RangeQuery::new(0, 1)).unwrap_err(),
+            ServeError::UnknownTenant { tenant: 42 }
+        );
+    }
+
+    #[test]
+    fn budget_exhaustion_stops_releases_but_not_serving() {
+        let mut service = HistogramService::new();
+        // Budget for exactly 2 releases.
+        let id = service
+            .register(
+                TenantConfig::new("t", 8)
+                    .with_budget(0.5, 0.25)
+                    .with_refresh_every(0)
+                    .with_seed(3),
+            )
+            .unwrap();
+        service.publish(id).unwrap();
+        service.publish(id).unwrap();
+        assert_eq!(service.remaining_budget(id).unwrap(), 0.0);
+        let err = service.publish(id).unwrap_err();
+        assert!(matches!(
+            err,
+            ServeError::Budget(BudgetError::Exhausted { .. })
+        ));
+        // Still serving the last published epoch.
+        assert_eq!(service.epoch(id).unwrap(), 2);
+        assert!(service
+            .answer(id, RangeQuery::new(0, 8))
+            .unwrap()
+            .is_finite());
+        let ledger = service.ledger(id).unwrap();
+        assert_eq!(
+            ledger,
+            vec![
+                ("release-0".to_string(), 0.25),
+                ("release-1".to_string(), 0.25)
+            ]
+        );
+    }
+
+    #[test]
+    fn cadence_triggers_releases_and_goes_quiet_when_exhausted() {
+        let mut service = HistogramService::new();
+        let id = service
+            .register(
+                TenantConfig::new("t", 8)
+                    .with_budget(0.2, 0.1)
+                    .with_refresh_every(2)
+                    .with_seed(11),
+            )
+            .unwrap();
+        // One delta: below cadence, no release.
+        assert_eq!(service.ingest(id, &[(0, 1)]).unwrap(), None);
+        assert_eq!(service.epoch(id).unwrap(), 0);
+        // Second delta trips the cadence.
+        let report = service.ingest(id, &[(1, 1)]).unwrap().unwrap();
+        assert_eq!((report.epoch, report.release_index), (1, 0));
+        // Pending counter reset: two more deltas for the next release.
+        assert_eq!(service.ingest(id, &[(2, 1)]).unwrap(), None);
+        assert!(service.ingest(id, &[(3, 1)]).unwrap().is_some());
+        // Budget is now exhausted: the cadence fires silently, ingest still
+        // lands (visible in the *next* release if budget were added).
+        assert_eq!(service.ingest(id, &[(4, 1), (5, 1)]).unwrap(), None);
+        assert_eq!(service.epoch(id).unwrap(), 2);
+        assert_eq!(service.remaining_budget(id).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn same_seed_same_answers_independent_of_publish_route() {
+        // A cadence-triggered release and a manual publish at the same
+        // release index produce bit-identical snapshots.
+        let build = |refresh: u64| {
+            let mut service = HistogramService::new();
+            let id = service
+                .register(
+                    TenantConfig::new("t", 16)
+                        .with_budget(1.0, 0.5)
+                        .with_refresh_every(refresh)
+                        .with_seed(99),
+                )
+                .unwrap();
+            service.ingest(id, &[(3, 2), (7, 5)]).unwrap();
+            if refresh == 0 {
+                service.publish(id).unwrap();
+            }
+            let mut out = Vec::new();
+            let queries: Vec<RangeQuery> = (0..16).map(|lo| RangeQuery::new(lo, 16)).collect();
+            service.answer_into(id, &queries, &mut out).unwrap();
+            out
+        };
+        assert_eq!(build(0), build(2));
+    }
+}

@@ -52,6 +52,7 @@
 //! | [`data`] | domains, relations, histograms, graphs, synthetic datasets |
 //! | [`mech`] | ε budgets, query sequences `L`/`S`/`H`, sensitivity, Laplace mechanism |
 //! | [`infer`] | **the paper's contribution**: isotonic + hierarchical inference, estimators |
+//! | [`serve`] | long-lived multi-tenant service: epoch-swapped snapshots, budget ledgers |
 //! | [`ext`] | wavelet mechanism, Blum et al. baseline, 2-D quadtrees, graphical repair, matrix mechanism |
 //!
 //! Experiments reproducing every table and figure live in the `hc-bench`
@@ -67,6 +68,7 @@ pub use hc_ext as ext;
 pub use hc_linalg as linalg;
 pub use hc_mech as mech;
 pub use hc_noise as noise;
+pub use hc_serve as serve;
 
 /// The most common imports, re-exported flat.
 pub mod prelude {
@@ -83,6 +85,7 @@ pub mod prelude {
         QuerySequence, SortedQuery, TreeShape, UnitQuery,
     };
     pub use hc_noise::{rng_from_seed, Laplace, NoiseBackend, SeedStream};
+    pub use hc_serve::{HistogramService, RangeQuery, TenantConfig};
 }
 
 #[cfg(test)]

@@ -134,6 +134,49 @@ proptest! {
 }
 
 #[test]
+fn degenerate_snapshot_inputs_are_well_defined() {
+    // domain_size == 0: a snapshot over nothing answers nothing, totals to
+    // an exact 0.0, and never panics on empty batches — serial or parallel.
+    let mut snap = ConsistentSnapshot::from_leaves(&[], 0);
+    assert_eq!(snap.domain_size(), 0);
+    assert_eq!(snap.total(), 0.0);
+    let mut out = vec![1.0, 2.0, 3.0]; // stale content must be truncated
+    snap.answer_into(&[], &mut out);
+    assert!(out.is_empty(), "empty batch must clear the output buffer");
+    for threads in [1usize, 2, 4, 8] {
+        let mut out = vec![9.0];
+        snap.answer_parallel(&[], &mut out, threads);
+        assert!(out.is_empty(), "threads = {threads}");
+    }
+    // An empty *query batch* against a non-empty snapshot is equally inert.
+    let shape = TreeShape::new(2, 4);
+    let values: Vec<f64> = (0..shape.nodes()).map(|i| i as f64).collect();
+    let full = ConsistentSnapshot::from_tree_values(&shape, &values, shape.leaves());
+    let mut out = vec![5.0; 7];
+    full.answer_into(&[], &mut out);
+    assert!(out.is_empty());
+    for threads in [1usize, 3, 16] {
+        let mut out = vec![5.0; 7];
+        full.answer_parallel(&[], &mut out, threads);
+        assert!(out.is_empty(), "threads = {threads}");
+    }
+    // Rebuild cycling through the empty domain leaves no stale prefix: a
+    // non-empty → empty → non-empty round trip equals a fresh build exactly.
+    let whole = Interval::new(0, shape.leaves() - 1);
+    snap.rebuild_from_tree_values(&shape, &values, shape.leaves());
+    assert_eq!(snap.answer(whole).to_bits(), full.answer(whole).to_bits());
+    snap.rebuild_from_leaves(&[], 0);
+    assert_eq!(snap.total(), 0.0);
+    snap.rebuild_from_tree_values(&shape, &values, shape.leaves());
+    assert_eq!(&snap, &full);
+    // domain_size == 0 over a non-empty leaf slice: legal (padding only),
+    // total is the empty prefix sum.
+    snap.rebuild_from_leaves(&values[..4], 0);
+    assert_eq!(snap.total(), 0.0);
+    assert_eq!(snap.domain_size(), 0);
+}
+
+#[test]
 fn rounded_tree_and_release_queries_still_match_the_decomposition_oracle() {
     // The production query paths (`TreeRelease::range_query_subtree`,
     // `RoundedTree::range_query`) now fold through `SubtreeServer`; pin them
