@@ -5,6 +5,10 @@
 //! The headline comparison is the ISSUE-2 acceptance criterion: on a k = 2
 //! tree with 2^20 leaves, batched engine trials must run ≥ 2× faster per
 //! trial than `hierarchical_inference`. Pass `--quick` for a smoke run.
+//!
+//! The engine groups additionally carry a 2^26-leaf grid point
+//! ([`SCALE_HEIGHT`]) where the node vector is DRAM-resident and rebuild
+//! cost / memory bandwidth, not arithmetic, set the pace.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use hc_core::{
@@ -19,6 +23,15 @@ use std::hint::black_box;
 
 /// Heights compared head-to-head; 21 is the 2^20-leaf acceptance shape.
 const HEADLINE_HEIGHTS: [usize; 3] = [11, 17, 21];
+
+/// The production-scale grid point: a height-27 binary tree (2^26 leaves,
+/// 2^27−1 nodes ≈ 1 GB of f64), where memory bandwidth — not arithmetic —
+/// sets the pace. Only the engine paths run here: the reference oracle's
+/// per-node allocation pattern would take minutes per iteration at this
+/// size without saying anything new (the bit-identity pins already cover
+/// it at every smaller height), and the 4-trial batch group would need a
+/// 4 GB input batch.
+const SCALE_HEIGHT: usize = 27;
 
 /// Trials per iteration in the batched benchmarks (per-trial time is the
 /// reported number via `Throughput::Elements`).
@@ -64,7 +77,7 @@ fn bench_reference(c: &mut Criterion) {
 /// The engine, one trial per call (fresh output vector, reused tables).
 fn bench_engine_single(c: &mut Criterion) {
     let mut group = c.benchmark_group("hier_infer_engine_single");
-    for &height in &HEADLINE_HEIGHTS {
+    for &height in HEADLINE_HEIGHTS.iter().chain(&[SCALE_HEIGHT]) {
         let shape = TreeShape::new(2, height);
         let noisy = noisy_tree(&shape, 7);
         let tree = LevelTree::new(&shape);
@@ -116,7 +129,7 @@ fn bench_engine_parallel(c: &mut Criterion) {
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
-    for &height in &[17usize, 21] {
+    for &height in &[17usize, 21, SCALE_HEIGHT] {
         let shape = TreeShape::new(2, height);
         let noisy = noisy_tree(&shape, 7);
         let tree = LevelTree::new(&shape);
@@ -207,7 +220,7 @@ fn bench_pipeline_pr2_path(c: &mut Criterion) {
 /// rounding, zero allocations per trial.
 fn bench_pipeline_batched(c: &mut Criterion) {
     let mut group = c.benchmark_group("hier_pipeline_batched");
-    for &height in &[17usize, 21] {
+    for &height in &[17usize, 21, SCALE_HEIGHT] {
         let shape = TreeShape::new(2, height);
         let n = shape.leaves();
         let histogram = pipeline_histogram(n);
@@ -233,8 +246,8 @@ fn bench_pipeline_batched(c: &mut Criterion) {
 fn bench_laplace_fill(c: &mut Criterion) {
     let mut group = c.benchmark_group("laplace_fill");
     let noise = Laplace::centered(210.0).expect("positive scale");
-    for &n in &[1usize << 17, (1 << 21) - 1] {
-        // −1 keeps the 2^21 case honest about the scalar tail.
+    for &n in &[1usize << 17, (1 << 21) - 1, (1 << 27) - 1] {
+        // −1 keeps the 2^21 and 2^27 cases honest about the scalar tail.
         let mut buf = vec![0.0f64; n];
         for backend in [NoiseBackend::Reference, NoiseBackend::FastLn] {
             let mut rng = rng_from_seed(31);

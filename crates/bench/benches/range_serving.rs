@@ -7,9 +7,17 @@
 //! tree height. The parallel group scales a large batch across cores
 //! (`HC_THREADS`-pinned in CI). Records land in `$BENCH_JSON` alongside the
 //! inference benches, so `bench_diff` gates serving throughput too.
+//!
+//! The `*_scale` groups and `range_serving_sharded` extend the grid to 2^20
+//! and 2^26 leaves (synthetic values — the serving arithmetic is identical,
+//! only cache residency changes), where the headline comparison is the
+//! persistent `ShardPool` against the per-call scoped-thread split at the
+//! same thread count: the pool amortizes the spawn/join cycle away.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use hc_core::{BatchInference, ConsistentSnapshot, HierarchicalUniversal, Rounding, SubtreeServer};
+use hc_core::{
+    BatchInference, ConsistentSnapshot, HierarchicalUniversal, Rounding, ShardPool, SubtreeServer,
+};
 use hc_data::{Domain, Histogram, Interval, RangeWorkload};
 use hc_mech::{Epsilon, TreeShape};
 use hc_noise::rng_from_seed;
@@ -42,9 +50,30 @@ fn served_release() -> (TreeShape, Vec<f64>, Vec<f64>) {
     (shape, release.noisy_values().to_vec(), hbar)
 }
 
-fn query_batch(len: usize, count: usize) -> Vec<Interval> {
-    let workload = RangeWorkload::new(DOMAIN, len);
+fn query_batch_over(domain: usize, len: usize, count: usize) -> Vec<Interval> {
+    let workload = RangeWorkload::new(domain, len);
     workload.sample_many(&mut rng_from_seed(23), count)
+}
+
+fn query_batch(len: usize, count: usize) -> Vec<Interval> {
+    query_batch_over(DOMAIN, len, count)
+}
+
+/// Deterministic leaf values for the large-domain grid: a cheap integer
+/// hash keeps 2^26-leaf setup at memory-fill cost instead of a multi-second
+/// release+inference (the grid measures *serving*, not inference — the
+/// prefix arithmetic is the same whatever the leaves hold).
+fn synthetic_leaves(domain: usize) -> Vec<f64> {
+    (0..domain)
+        .map(|i| (i.wrapping_mul(2654435761) % 97) as f64 * 0.25)
+        .collect()
+}
+
+/// Matching deterministic per-node values for the decomposition fold.
+fn synthetic_tree_values(nodes: usize) -> Vec<f64> {
+    (0..nodes)
+        .map(|i| (i.wrapping_mul(2654435761) % 89) as f64 * 0.5 - 11.0)
+        .collect()
 }
 
 /// O(1) prefix serving: per-query cost must be flat across range lengths.
@@ -113,6 +142,174 @@ fn bench_snapshot_parallel(c: &mut Criterion) {
     group.finish();
 }
 
+/// The large-domain serving grid: 2^20 and 2^26 leaves, where the prefix
+/// array (8 MB / 512 MB) no longer fits in cache and each answer is two
+/// DRAM-resident loads. Per-query cost must stay flat in range length —
+/// that is the whole point of prefix serving — while the absolute ns/query
+/// tracks memory latency, not arithmetic.
+fn bench_snapshot_scale(c: &mut Criterion) {
+    let mut group = c.benchmark_group("range_serving_snapshot_scale");
+    for &lg in &[20usize, 26] {
+        let domain = 1usize << lg;
+        let snapshot = {
+            let leaves = synthetic_leaves(domain);
+            ConsistentSnapshot::from_leaves(&leaves, domain)
+        };
+        for &len in &[1usize << 4, 1 << 10] {
+            let queries = query_batch_over(domain, len, BATCH);
+            let mut out = Vec::new();
+            snapshot.answer_into(&queries, &mut out);
+            group.throughput(Throughput::Elements(BATCH as u64));
+            group.bench_with_input(
+                BenchmarkId::new(format!("d{lg}/len"), len),
+                &queries,
+                |b, queries| {
+                    b.iter(|| {
+                        snapshot.answer_into(black_box(queries), &mut out);
+                        black_box(out[0])
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+/// The iterative two-fringe fold at scale: O(log n) per query over a
+/// DRAM-resident node vector (1 GB at 2^26 leaves) — the regime where the
+/// fold's pointer-free arithmetic spans matter most.
+fn bench_subtree_fold_scale(c: &mut Criterion) {
+    let mut group = c.benchmark_group("range_serving_subtree_scale");
+    for &lg in &[20usize, 26] {
+        let shape = TreeShape::new(2, lg + 1);
+        let domain = shape.leaves();
+        let values = synthetic_tree_values(shape.nodes());
+        let server = SubtreeServer::new(&shape);
+        let queries = query_batch_over(domain, 1 << 10, BATCH);
+        let mut out = Vec::new();
+        server.answer_into(&values, Rounding::None, &queries, &mut out);
+        group.throughput(Throughput::Elements(BATCH as u64));
+        group.bench_with_input(
+            BenchmarkId::new(format!("d{lg}/len"), 1 << 10),
+            &queries,
+            |b, queries| {
+                b.iter(|| {
+                    server.answer_into(&values, Rounding::None, black_box(queries), &mut out);
+                    black_box(out[0])
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Batch sizes for the threaded-serving comparison: 2^12 is
+/// dispatch-bound (the per-call spawn or hand-off cost is a visible
+/// fraction of the batch), 2^14 is bandwidth-bound (the prefix loads
+/// dominate and any dispatch scheme converges).
+const THREADED_BATCHES: [usize; 2] = [1 << 12, 1 << 14];
+
+/// The per-call scoped-thread split at scale — the baseline the persistent
+/// pool is measured against. Every iteration pays the spawn/join cycle.
+fn bench_snapshot_parallel_scale(c: &mut Criterion) {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut group = c.benchmark_group("range_serving_parallel_scale");
+    for &lg in &[20usize, 26] {
+        let domain = 1usize << lg;
+        let snapshot = {
+            let leaves = synthetic_leaves(domain);
+            ConsistentSnapshot::from_leaves(&leaves, domain)
+        };
+        for &batch in &THREADED_BATCHES {
+            let queries = query_batch_over(domain, 1 << 10, batch);
+            let mut out = Vec::new();
+            // Floor 0: the spawn-per-call split is the measured subject,
+            // so the serial fallback must not absorb the smaller batch.
+            snapshot.answer_parallel_with_floor(&queries, &mut out, threads, 0);
+            group.throughput(Throughput::Elements(batch as u64));
+            group.bench_with_input(
+                BenchmarkId::new(format!("d{lg}/queries"), batch),
+                &queries,
+                |b, queries| {
+                    b.iter(|| {
+                        snapshot.answer_parallel_with_floor(
+                            black_box(queries),
+                            &mut out,
+                            threads,
+                            0,
+                        );
+                        black_box(out[0])
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+/// The persistent `ShardPool` over the same batches: no per-call spawn,
+/// per-worker snapshot clones, recycled hand-off buffers. Compare each
+/// `d*/queries` point against `range_serving_parallel_scale` — the
+/// difference is the spawn/join cycle the pool amortizes away, most
+/// visible on the dispatch-bound 2^12 batch; answers are bit-identical
+/// either way.
+fn bench_snapshot_sharded(c: &mut Criterion) {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut group = c.benchmark_group("range_serving_sharded");
+    for &lg in &[16usize, 20, 26] {
+        let domain = 1usize << lg;
+        let snapshot = {
+            let leaves = synthetic_leaves(domain);
+            ConsistentSnapshot::from_leaves(&leaves, domain)
+        };
+        let mut pool = ShardPool::with_floor(&snapshot, threads, 0);
+        for &batch in &THREADED_BATCHES {
+            let queries = query_batch_over(domain, 1 << 10, batch);
+            let mut out = Vec::new();
+            pool.answer_into(&queries, &mut out);
+            group.throughput(Throughput::Elements(batch as u64));
+            group.bench_with_input(
+                BenchmarkId::new(format!("d{lg}/queries"), batch),
+                &queries,
+                |b, queries| {
+                    b.iter(|| {
+                        pool.answer_into(black_box(queries), &mut out);
+                        black_box(out[0])
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+/// Rebuild cost at scale: the write-side story of the 2^26 grid — one
+/// pass of prefix accumulation over a DRAM-resident leaf vector.
+fn bench_snapshot_rebuild_scale(c: &mut Criterion) {
+    let mut group = c.benchmark_group("range_serving_rebuild_scale");
+    for &lg in &[20usize, 26] {
+        let domain = 1usize << lg;
+        let leaves = synthetic_leaves(domain);
+        let mut snapshot = ConsistentSnapshot::from_leaves(&leaves, domain);
+        group.throughput(Throughput::Elements(domain as u64));
+        group.bench_with_input(
+            BenchmarkId::new(format!("d{lg}/leaves"), domain),
+            &leaves,
+            |b, leaves| {
+                b.iter(|| {
+                    snapshot.rebuild_from_leaves(black_box(leaves), domain);
+                    black_box(snapshot.total())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
 /// One snapshot rebuild from a full tree vector — the per-trial cost the
 /// experiment scoring loops pay before serving thousands of queries.
 fn bench_snapshot_rebuild(c: &mut Criterion) {
@@ -138,6 +335,11 @@ criterion_group!(
     bench_snapshot,
     bench_subtree_fold,
     bench_snapshot_parallel,
-    bench_snapshot_rebuild
+    bench_snapshot_rebuild,
+    bench_snapshot_scale,
+    bench_subtree_fold_scale,
+    bench_snapshot_parallel_scale,
+    bench_snapshot_sharded,
+    bench_snapshot_rebuild_scale
 );
 criterion_main!(benches);

@@ -54,6 +54,7 @@ pub mod engine;
 pub mod error;
 pub mod hier;
 pub mod isotonic;
+pub mod shard;
 pub mod snapshot;
 pub mod theory;
 pub mod unattributed;
@@ -65,9 +66,10 @@ pub use engine::{effective_threads, BatchInference, LevelTree};
 pub use error::{mean_absolute_error, per_position_squared_error, sum_squared_error};
 pub use hier::{enforce_nonnegativity, hierarchical_inference, ConsistentTree};
 pub use isotonic::{isotonic_regression, isotonic_regression_weighted, minmax_reference};
+pub use shard::ShardPool;
 pub use snapshot::{
     union_bound_interval, ConsistentSnapshot, ReleaseStrategy, SizePrediction, StrategyPlan,
-    StrategyPlanner, SubtreeServer,
+    StrategyPlanner, SubtreeServer, PARALLEL_SERIAL_FLOOR, SHARD_SERIAL_FLOOR,
 };
 pub use unattributed::{SortedRelease, UnattributedHistogram};
 pub use universal::{

@@ -44,6 +44,23 @@ use crate::universal::Rounding;
 /// bound.
 const EXACT_F64_INT: u64 = 1 << 53;
 
+/// Query-count floor below which [`ConsistentSnapshot::answer_parallel`]
+/// answers serially instead of spawning scoped threads. Measured (see
+/// BENCH_hier_infer.json `range_serving_*`): a warm serial answer is ~1.4 ns
+/// per query on an L2-resident prefix, while a `thread::scope` spawn+join
+/// cycle costs tens of microseconds — the threaded split only amortizes past
+/// a few thousand queries even on DRAM-resident domains, so the floor sits
+/// at the batch size where the split first measured faster than serial.
+pub const PARALLEL_SERIAL_FLOOR: usize = 4096;
+
+/// Query-count floor below which [`crate::shard::ShardPool`] answers
+/// serially from shard 0 instead of waking its workers. The persistent
+/// pool's hand-off (one condvar wake + one reply wait per worker) is two
+/// orders of magnitude cheaper than a scope spawn, so its floor is
+/// correspondingly lower: past a few hundred queries the wake cost is noise
+/// against the batch's serve time on the large domains the pool targets.
+pub const SHARD_SERIAL_FLOOR: usize = 512;
+
 /// Batched prefix-difference kernel shared by [`ConsistentSnapshot`] and
 /// `FlatRelease::answer_into`: 4-way unrolled over the query batch (each
 /// answer is two independent loads and one subtract, so the unrolled form
@@ -96,7 +113,7 @@ pub(crate) fn answer_prefix_into(
 /// over the leaves with zero allocations after warm-up), which is how the
 /// experiment scoring loops use them: one snapshot per trial, thousands of
 /// queries served from it.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, PartialEq)]
 pub struct ConsistentSnapshot {
     /// `prefix[i]` = sum of the first `i` leaf values (padding included).
     prefix: Vec<f64>,
@@ -104,6 +121,27 @@ pub struct ConsistentSnapshot {
     /// The per-answer Laplace scale `b` of the release behind this view,
     /// when known — enables [`Self::confidence`].
     noise_scale: Option<f64>,
+}
+
+/// Hand-written so `clone_from` reuses the destination's prefix buffer (the
+/// derive would fall back to `*self = source.clone()`, allocating a fresh
+/// vector per call) — [`crate::shard::ShardPool::publish`] republishes into
+/// warm per-shard clones on this path, keeping steady-state publishes
+/// allocation-free once every shard has reached its high-water mark.
+impl Clone for ConsistentSnapshot {
+    fn clone(&self) -> Self {
+        Self {
+            prefix: self.prefix.clone(),
+            domain_size: self.domain_size,
+            noise_scale: self.noise_scale,
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.prefix.clone_from(&source.prefix);
+        self.domain_size = source.domain_size;
+        self.noise_scale = source.noise_scale;
+    }
 }
 
 impl ConsistentSnapshot {
@@ -245,6 +283,13 @@ impl ConsistentSnapshot {
         self.domain_size
     }
 
+    /// The raw prefix array (`prefix[0] == 0`, one entry per leaf plus the
+    /// leading zero) — the shard workers answer straight off this slice.
+    #[inline]
+    pub(crate) fn prefix(&self) -> &[f64] {
+        &self.prefix
+    }
+
     /// The attached Laplace noise scale, if any.
     #[inline]
     pub fn noise_scale(&self) -> Option<f64> {
@@ -281,9 +326,28 @@ impl ConsistentSnapshot {
     /// lookups, so the output is bit-identical to the serial batch for any
     /// thread count. `threads` is a cap, overridable via the `HC_THREADS`
     /// environment variable ([`effective_threads`]).
+    ///
+    /// Batches shorter than [`PARALLEL_SERIAL_FLOOR`] are answered serially:
+    /// below that point the per-call `thread::scope` spawn/join cost exceeds
+    /// the whole batch's serve time. For a *persistent* worker pool without
+    /// the per-call spawn, see [`crate::shard::ShardPool`].
     pub fn answer_parallel(&self, queries: &[Interval], out: &mut Vec<f64>, threads: usize) {
+        self.answer_parallel_with_floor(queries, out, threads, PARALLEL_SERIAL_FLOOR);
+    }
+
+    /// [`Self::answer_parallel`] with an explicit serial-fallback floor —
+    /// tests and benches pass `0` to force the threaded split regardless of
+    /// batch size (the bit-identity contract must hold on the threaded path
+    /// itself, not just on the serial fallback small batches take).
+    pub fn answer_parallel_with_floor(
+        &self,
+        queries: &[Interval],
+        out: &mut Vec<f64>,
+        threads: usize,
+        serial_floor: usize,
+    ) {
         let workers = effective_threads(threads).max(1).min(queries.len().max(1));
-        if workers <= 1 {
+        if workers <= 1 || queries.len() < serial_floor {
             self.answer_into(queries, out);
             return;
         }
@@ -440,7 +504,26 @@ impl SubtreeServer {
     /// (the historical query paths' accumulator), so the answer is
     /// bit-identical to materializing the decomposition and `.sum()`ing it
     /// even in the all-negative-zero corner.
+    ///
+    /// Implementation: the iterative two-fringe walk
+    /// ([`Self::fold_two_fringe`]) — no recursion, no closure dispatch per
+    /// node. [`Self::answer_recursive`] keeps the recursive fold as the
+    /// bitwise oracle; `tests/snapshot_serving.rs` pins the two equal to the
+    /// bit across shapes, values, and rounding policies.
     pub fn answer(&self, values: &[f64], rounding: Rounding, target: Interval) -> f64 {
+        assert_eq!(
+            values.len(),
+            self.shape.nodes(),
+            "value vector must cover the tree"
+        );
+        self.fold_two_fringe(values, rounding, target)
+    }
+
+    /// The recursive decomposition fold — the bitwise oracle
+    /// [`Self::answer`]'s iterative walk is pinned against. Same visit
+    /// order, same `-0.0` seed, same per-node arithmetic, one closure call
+    /// per node.
+    pub fn answer_recursive(&self, values: &[f64], rounding: Rounding, target: Interval) -> f64 {
         assert_eq!(
             values.len(),
             self.shape.nodes(),
@@ -448,6 +531,115 @@ impl SubtreeServer {
         );
         let mut acc = -0.0f64;
         self.for_each_node(target, |v| acc += rounding.apply(values[v]));
+        acc
+    }
+
+    /// The iterative decomposition fold: descend to the *split node* (the
+    /// deepest node whose span still contains the whole target), then walk
+    /// the left fringe down to `target.lo()` stacking covered-sibling runs
+    /// (emitted deepest-first on unwind, matching the recursion's postorder
+    /// on that flank), emit the split node's fully-covered middle children,
+    /// and walk the right fringe down to `target.hi()` emitting covered
+    /// left-siblings on the way (the recursion's preorder on that flank).
+    ///
+    /// The emission sequence is exactly the recursive depth-first
+    /// left-to-right order of [`Self::for_each_node`], so the `-0.0`-seeded
+    /// float fold is bit-identical to [`Self::answer_recursive`] — while
+    /// spans stay in three integers per fringe and the only state is a
+    /// fixed-size run stack (`TreeShape` caps heights at 64, so it lives on
+    /// the stack and the fold allocates nothing).
+    fn fold_two_fringe(&self, values: &[f64], rounding: Rounding, target: Interval) -> f64 {
+        assert!(
+            target.hi() < self.shape.leaves(),
+            "target {target} outside leaf range"
+        );
+        let k = self.shape.branching();
+        let mut acc = -0.0f64;
+
+        // Phase 1: descend while one child holds the whole target. The
+        // descent invariant is `target ⊆ [span_lo, span_lo + span_len)`, so
+        // "covered" can only mean "equal" and the check needs no `max`/`min`.
+        let mut v = 0usize;
+        let mut span_lo = 0usize;
+        let mut span_len = self.shape.leaves();
+        let (first_child, child_len, ci_lo, ci_hi) = loop {
+            if target.lo() <= span_lo && span_lo + span_len - 1 <= target.hi() {
+                acc += rounding.apply(values[v]);
+                return acc;
+            }
+            let child_len = span_len / k;
+            let first_child = k * v + 1;
+            let ci_lo = (target.lo() - span_lo) / child_len;
+            let ci_hi = (target.hi() - span_lo) / child_len;
+            if ci_lo != ci_hi {
+                break (first_child, child_len, ci_lo, ci_hi);
+            }
+            v = first_child + ci_lo;
+            span_lo += ci_lo * child_len;
+            span_len = child_len;
+        };
+
+        // Phase 2: left fringe into child `ci_lo`. Invariant: `target.lo()`
+        // lies inside the node's span and the target covers through its
+        // right edge — so every sibling right of the descent child is fully
+        // covered. The recursion emits those runs *after* the deeper nodes
+        // (postorder on this flank); stack them and unwind deepest-first.
+        let mut pending = [(0usize, 0usize); 64];
+        let mut stacked = 0usize;
+        let mut lv = first_child + ci_lo;
+        let mut l_lo = span_lo + ci_lo * child_len;
+        let mut l_len = child_len;
+        loop {
+            if target.lo() <= l_lo {
+                acc += rounding.apply(values[lv]);
+                break;
+            }
+            let clen = l_len / k;
+            let fc = k * lv + 1;
+            let ci = (target.lo() - l_lo) / clen;
+            if ci + 1 < k {
+                pending[stacked] = (fc + ci + 1, k - 1 - ci);
+                stacked += 1;
+            }
+            lv = fc + ci;
+            l_lo += ci * clen;
+            l_len = clen;
+        }
+        while stacked > 0 {
+            stacked -= 1;
+            let (start, count) = pending[stacked];
+            for &node in &values[start..start + count] {
+                acc += rounding.apply(node);
+            }
+        }
+
+        // Phase 3: the split node's fully-covered middle children.
+        for &node in &values[first_child + ci_lo + 1..first_child + ci_hi] {
+            acc += rounding.apply(node);
+        }
+
+        // Phase 4: right fringe into child `ci_hi`. Invariant: `target.hi()`
+        // lies inside the node's span and the target covers from its left
+        // edge — siblings left of the descent child are fully covered, and
+        // the recursion emits them *before* descending (preorder).
+        let mut rv = first_child + ci_hi;
+        let mut r_lo = span_lo + ci_hi * child_len;
+        let mut r_len = child_len;
+        loop {
+            if target.hi() >= r_lo + r_len - 1 {
+                acc += rounding.apply(values[rv]);
+                break;
+            }
+            let clen = r_len / k;
+            let fc = k * rv + 1;
+            let ci = (target.hi() - r_lo) / clen;
+            for &node in &values[fc..fc + ci] {
+                acc += rounding.apply(node);
+            }
+            rv = fc + ci;
+            r_lo += ci * clen;
+            r_len = clen;
+        }
         acc
     }
 

@@ -113,6 +113,9 @@ pub const HOT_FUNCTIONS: &[(&str, &[&str])] = &[
             "answer",
             "answer_into",
             "answer_parallel",
+            "answer_parallel_with_floor",
+            "answer_recursive",
+            "fold_two_fringe",
             "rebuild_from_leaves",
             "rebuild_from_tree_values",
             "total",
@@ -121,6 +124,21 @@ pub const HOT_FUNCTIONS: &[(&str, &[&str])] = &[
             "walk",
             "decomposition_len",
             "count_per_depth",
+        ],
+    ),
+    (
+        "crates/core/src/shard.rs",
+        &[
+            // The persistent pool's per-batch paths: dispatch/collect moves
+            // recycled owned buffers, workers answer from their shard's
+            // snapshot clone — no fresh owned values per batch. (`new`,
+            // `with_floor`, and `publish` are construction/refresh paths and
+            // clone by design; they are deliberately not listed.)
+            "answer_into",
+            "answer_into_with_floor",
+            "answer_serial",
+            "serve_chunk",
+            "worker_loop",
         ],
     ),
     (
@@ -157,7 +175,13 @@ pub const HOT_FUNCTIONS: &[(&str, &[&str])] = &[
             // two atomics and an Arc bump, never a fresh owned value, and
             // the publisher may allocate only through `Arc::new(snapshot)`
             // (taking ownership of the prebuilt snapshot, not copying it).
-            "load", "publish", "epoch",
+            // The sharded bank's read paths ride the same contract;
+            // `broadcast` clones per shard by design and is not listed.
+            "load",
+            "publish",
+            "epoch",
+            "pin",
+            "pin_shard",
         ],
     ),
     (

@@ -121,6 +121,95 @@ impl SnapshotCell {
     }
 }
 
+/// A sharded bank of [`SnapshotCell`]s serving the *same* tenant: one cell
+/// per shard, each holding its own `Arc` of the published snapshot, so
+/// concurrent readers spread across shards instead of all hitting one
+/// cell's epoch counter and slot ring. The shard count is fixed at
+/// construction (the service sizes it through `effective_threads`).
+///
+/// Readers [`pin`](SnapshotShards::pin) a shard-local snapshot wait-free —
+/// a round-robin cursor picks the shard, then the pin is exactly a
+/// [`SnapshotCell::load`]. Writers [`broadcast`](SnapshotShards::broadcast)
+/// to every shard; shard 0 is published **last**, so once
+/// [`epoch`](SnapshotShards::epoch) (shard 0's epoch) reports the new
+/// value, every shard serves it. During a broadcast, two concurrent pins
+/// may land on different epochs — each is still a complete published
+/// snapshot (the per-cell torn-read guarantee is unchanged), and a batch
+/// answered from one pin stays single-epoch.
+///
+/// ```
+/// use hc_core::ConsistentSnapshot;
+/// use hc_serve::SnapshotShards;
+///
+/// let shards = SnapshotShards::new(ConsistentSnapshot::from_leaves(&[1.0, 2.0], 2), 4);
+/// assert_eq!(shards.shard_count(), 4);
+/// let epoch = shards.broadcast(ConsistentSnapshot::from_leaves(&[5.0, 5.0], 2));
+/// assert_eq!(epoch, 1);
+/// assert_eq!(shards.pin().total(), 10.0); // wait-free, shard-local
+/// ```
+#[derive(Debug)]
+pub struct SnapshotShards {
+    cells: Vec<SnapshotCell>,
+    /// Round-robin reader cursor; wraps via modulo, `Relaxed` is enough —
+    /// it only balances load, it carries no synchronization.
+    cursor: AtomicUsize,
+}
+
+impl SnapshotShards {
+    /// A bank of `shards.max(1)` cells, every shard serving `initial` at
+    /// epoch 0. The last shard takes ownership of `initial`; the rest hold
+    /// clones.
+    pub fn new(initial: ConsistentSnapshot, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let mut cells = Vec::with_capacity(shards);
+        for _ in 0..shards - 1 {
+            cells.push(SnapshotCell::new(initial.clone()));
+        }
+        cells.push(SnapshotCell::new(initial));
+        Self {
+            cells,
+            cursor: AtomicUsize::new(0),
+        }
+    }
+
+    /// The number of shards (≥ 1, fixed at construction).
+    #[inline]
+    pub fn shard_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// The bank's epoch: shard 0's, published last by
+    /// [`Self::broadcast`] — when this reports `e`, every shard serves
+    /// epoch `e`.
+    #[inline]
+    pub fn epoch(&self) -> usize {
+        self.cells[0].epoch()
+    }
+
+    /// Pins the served snapshot from the next shard in round-robin order.
+    /// Wait-free: cursor bump + [`SnapshotCell::load`].
+    pub fn pin(&self) -> PinnedSnapshot {
+        let shard = self.cursor.fetch_add(1, Ordering::Relaxed) % self.cells.len();
+        self.cells[shard].load()
+    }
+
+    /// Pins the served snapshot from a specific shard (index taken modulo
+    /// the shard count), for callers with their own placement scheme.
+    pub fn pin_shard(&self, shard: usize) -> PinnedSnapshot {
+        self.cells[shard % self.cells.len()].load()
+    }
+
+    /// Publishes `snapshot` to every shard and returns the new epoch.
+    /// Shards 1.. receive clones first; shard 0 — the epoch authority —
+    /// takes ownership and is published last.
+    pub fn broadcast(&self, snapshot: ConsistentSnapshot) -> usize {
+        for cell in &self.cells[1..] {
+            cell.publish(snapshot.clone());
+        }
+        self.cells[0].publish(snapshot)
+    }
+}
+
 /// A pinned, immutable view of one published snapshot: dereferences to
 /// [`ConsistentSnapshot`], stays valid across any number of later
 /// publishes, and carries the epoch it was published at.
@@ -189,6 +278,35 @@ mod tests {
         let fresh = cell.load();
         assert_eq!(fresh.epoch(), 3 * SLOTS);
         assert_eq!(fresh.answer(Interval::new(0, 7)), 8.0 * (3 * SLOTS) as f64);
+    }
+
+    #[test]
+    fn shards_serve_the_same_snapshot_from_every_shard() {
+        let shards = SnapshotShards::new(leaves(&[1.0, 2.0, 3.0, 4.0]), 3);
+        assert_eq!(shards.shard_count(), 3);
+        assert_eq!(shards.epoch(), 0);
+        let whole = Interval::new(0, 3);
+        for shard in 0..shards.shard_count() {
+            assert_eq!(shards.pin_shard(shard).answer(whole), 10.0);
+        }
+        // pin_shard wraps modulo the shard count.
+        assert_eq!(shards.pin_shard(7).answer(whole), 10.0);
+        let epoch = shards.broadcast(leaves(&[4.0, 3.0, 2.0, 11.0]));
+        assert_eq!(epoch, 1);
+        assert_eq!(shards.epoch(), 1);
+        for _ in 0..2 * shards.shard_count() {
+            // Round-robin pins all land on the new epoch.
+            let pinned = shards.pin();
+            assert_eq!(pinned.epoch(), 1);
+            assert_eq!(pinned.answer(whole), 20.0);
+        }
+    }
+
+    #[test]
+    fn zero_shards_clamp_to_one() {
+        let shards = SnapshotShards::new(leaves(&[2.0, 2.0]), 0);
+        assert_eq!(shards.shard_count(), 1);
+        assert_eq!(shards.pin().answer(Interval::new(0, 1)), 4.0);
     }
 
     #[test]

@@ -10,6 +10,9 @@
 //!   current [`hc_core::ConsistentSnapshot`] wait-free; a writer rebuilds
 //!   off-path and publishes atomically. Published answers are bit-identical
 //!   to the serial pipeline at the same seeds.
+//! * [`SnapshotShards`] — a bank of cells serving the same tenant, one per
+//!   `effective_threads`-governed shard, so concurrent readers pin
+//!   shard-local snapshots round-robin instead of contending on one cell.
 //! * [`HistogramService`] / [`TenantConfig`] — per-tenant domain shape,
 //!   [`hc_core::ReleaseStrategy`], and a [`hc_mech::PrivacyBudget`] ledger
 //!   debited once per release under sequential composition.
@@ -30,6 +33,6 @@ pub mod cell;
 pub mod query;
 pub mod service;
 
-pub use cell::{PinnedSnapshot, SnapshotCell};
+pub use cell::{PinnedSnapshot, SnapshotCell, SnapshotShards};
 pub use query::RangeQuery;
 pub use service::{HistogramService, PublishReport, ServeError, TenantConfig, TenantId};

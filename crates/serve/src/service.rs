@@ -3,14 +3,16 @@
 //!
 //! Each tenant owns a true histogram (never served directly), a
 //! [`PrivacyBudget`] account debited once per release under sequential
-//! composition, and a [`SnapshotCell`] holding the currently-served
-//! [`ConsistentSnapshot`]. Ingest accumulates count deltas behind the
-//! tenant's write lock; a release — on the configured cadence or on demand
-//! — spends `ε` from the ledger, runs the tenant's [`ReleaseStrategy`]
-//! through the allocation-free release+inference pipeline
-//! ([`BatchInference::release_and_infer`] for the hierarchical path), and
-//! publishes the fresh snapshot atomically. Readers never block and never
-//! see the true counts: only published post-inference snapshots.
+//! composition, and a [`SnapshotShards`] bank — one
+//! [`crate::cell::SnapshotCell`] per `effective_threads`-governed shard —
+//! holding the currently-served [`ConsistentSnapshot`]. Ingest accumulates
+//! count deltas behind the tenant's write lock; a release — on the
+//! configured cadence or on demand — spends `ε` from the ledger, runs the
+//! tenant's [`ReleaseStrategy`] through the allocation-free
+//! release+inference pipeline ([`BatchInference::release_and_infer`] for
+//! the hierarchical path), and broadcasts the fresh snapshot to every
+//! shard. Readers pin a shard-local snapshot round-robin, never block, and
+//! never see the true counts: only published post-inference snapshots.
 //!
 //! Determinism: release `i` of a tenant draws its noise from
 //! `SeedStream::new(seed).rng(i)`, so the served answers are bit-identical
@@ -22,8 +24,8 @@ use std::fmt;
 use std::sync::Mutex;
 
 use hc_core::{
-    BatchInference, BudgetSplit, BudgetedHierarchical, ConsistentSnapshot, FlatUniversal,
-    HierarchicalUniversal, ReleaseStrategy, Rounding,
+    effective_threads, BatchInference, BudgetSplit, BudgetedHierarchical, ConsistentSnapshot,
+    FlatUniversal, HierarchicalUniversal, ReleaseStrategy, Rounding,
 };
 use hc_data::{Domain, Histogram};
 use hc_mech::{
@@ -32,7 +34,7 @@ use hc_mech::{
 };
 use hc_noise::{NoiseBackend, SeedStream};
 
-use crate::cell::{PinnedSnapshot, SnapshotCell};
+use crate::cell::{PinnedSnapshot, SnapshotShards};
 use crate::query::RangeQuery;
 
 /// Errors the service reports to clients. Variants carry plain fields (no
@@ -112,13 +114,15 @@ pub struct TenantConfig {
     backend: NoiseBackend,
     refresh_every: u64,
     seed: u64,
+    shards: usize,
 }
 
 impl TenantConfig {
     /// A tenant named `name` over `domain_size` bins, with the defaults:
     /// total budget ε = 1.0 spent ε = 0.1 per release, binary hierarchical
     /// releases, reference noise backend, automatic release every 1000
-    /// ingested deltas, seed 0.
+    /// ingested deltas, seed 0, 4 requested snapshot shards (resolved
+    /// through `effective_threads` at registration).
     pub fn new(name: impl Into<String>, domain_size: usize) -> Self {
         Self {
             name: name.into(),
@@ -129,6 +133,7 @@ impl TenantConfig {
             backend: NoiseBackend::Reference,
             refresh_every: 1000,
             seed: 0,
+            shards: 4,
         }
     }
 
@@ -165,6 +170,16 @@ impl TenantConfig {
     /// draws from `SeedStream::new(seed).rng(i)`.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Requests this many snapshot shards for the tenant's serving bank.
+    /// The registered shard count is `effective_threads(shards).max(1)` —
+    /// an `HC_THREADS` override wins, and at least one shard always exists.
+    /// Shard count never changes answers, only reader contention: every
+    /// shard serves clones of the same published snapshot.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
         self
     }
 
@@ -215,7 +230,7 @@ struct WriteState {
 
 struct Tenant {
     config: TenantConfig,
-    cell: SnapshotCell,
+    shards: SnapshotShards,
     write: Mutex<WriteState>,
 }
 
@@ -322,10 +337,11 @@ impl HistogramService {
         };
         let initial =
             ConsistentSnapshot::from_leaves(&vec![0.0; config.domain_size], config.domain_size);
+        let shard_count = effective_threads(config.shards).max(1);
         let id = TenantId(self.tenants.len());
         self.tenants.push(Tenant {
             config,
-            cell: SnapshotCell::new(initial),
+            shards: SnapshotShards::new(initial, shard_count),
             write: Mutex::new(write),
         });
         Ok(id)
@@ -434,7 +450,7 @@ impl HistogramService {
         };
         state.releases += 1;
         state.pending_deltas = 0;
-        let epoch = tenant.cell.publish(snapshot);
+        let epoch = tenant.shards.broadcast(snapshot);
         Ok(PublishReport {
             epoch,
             release_index,
@@ -454,7 +470,7 @@ impl HistogramService {
                 domain_size,
             });
         }
-        let pinned = tenant.cell.load();
+        let pinned = tenant.shards.pin();
         Ok(match query.to_interval() {
             Some(interval) => pinned.answer(interval),
             None => 0.0,
@@ -482,7 +498,7 @@ impl HistogramService {
         }
         out.clear();
         out.reserve(queries.len());
-        let pinned = tenant.cell.load();
+        let pinned = tenant.shards.pin();
         for query in queries {
             out.push(match query.to_interval() {
                 Some(interval) => pinned.answer(interval),
@@ -510,7 +526,7 @@ impl HistogramService {
                 domain_size,
             });
         }
-        let pinned = tenant.cell.load();
+        let pinned = tenant.shards.pin();
         Ok(match query.to_interval() {
             Some(interval) => pinned.confidence(interval, level),
             None => pinned
@@ -522,12 +538,18 @@ impl HistogramService {
     /// Pins the tenant's currently-served snapshot (stays valid across
     /// later publishes).
     pub fn snapshot(&self, id: TenantId) -> Result<PinnedSnapshot, ServeError> {
-        Ok(self.tenant(id)?.cell.load())
+        Ok(self.tenant(id)?.shards.pin())
     }
 
     /// The tenant's current serving epoch (0 = initial zeros snapshot).
     pub fn epoch(&self, id: TenantId) -> Result<usize, ServeError> {
-        Ok(self.tenant(id)?.cell.epoch())
+        Ok(self.tenant(id)?.shards.epoch())
+    }
+
+    /// The tenant's resolved shard count: the registered
+    /// `effective_threads(config.shards).max(1)`.
+    pub fn shard_count(&self, id: TenantId) -> Result<usize, ServeError> {
+        Ok(self.tenant(id)?.shards.shard_count())
     }
 
     /// Budget remaining on the tenant's ledger.
@@ -766,6 +788,29 @@ mod tests {
         assert_eq!(service.ingest(id, &[(4, 1), (5, 1)]).unwrap(), None);
         assert_eq!(service.epoch(id).unwrap(), 2);
         assert_eq!(service.remaining_budget(id).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn shard_count_is_a_contention_knob_not_a_semantics_knob() {
+        let build = |shards: usize| {
+            let mut service = HistogramService::new();
+            let id = service
+                .register(config("t", 32).with_shards(shards))
+                .unwrap();
+            service.ingest(id, &[(1, 4), (17, 2), (30, 8)]).unwrap();
+            service.publish(id).unwrap();
+            let queries: Vec<RangeQuery> = (0..32).map(|lo| RangeQuery::new(lo, 32)).collect();
+            let mut out = Vec::new();
+            service.answer_into(id, &queries, &mut out).unwrap();
+            (service.shard_count(id).unwrap(), out)
+        };
+        let (one, serial) = build(1);
+        let (many, sharded) = build(4);
+        assert_eq!(one, effective_threads(1).max(1));
+        assert_eq!(many, effective_threads(4).max(1));
+        // Bit-identical across shard counts: every shard serves clones of
+        // the same published snapshot.
+        assert_eq!(sharded, serial);
     }
 
     #[test]

@@ -76,8 +76,9 @@ pub mod prelude {
         effective_threads, enforce_nonnegativity, hierarchical_inference, isotonic_regression,
         mean_absolute_error, sum_squared_error, weighted_hierarchical_inference, BatchInference,
         BudgetSplit, BudgetedHierarchical, ConsistentSnapshot, ConsistentTree, FlatUniversal,
-        HierarchicalUniversal, LevelTree, ReleaseStrategy, RoundedTree, Rounding, SortedRelease,
-        StrategyPlan, StrategyPlanner, SubtreeServer, TreeRelease, UnattributedHistogram,
+        HierarchicalUniversal, LevelTree, ReleaseStrategy, RoundedTree, Rounding, ShardPool,
+        SortedRelease, StrategyPlan, StrategyPlanner, SubtreeServer, TreeRelease,
+        UnattributedHistogram,
     };
     pub use hc_data::{Domain, Graph, Histogram, Interval, Relation};
     pub use hc_mech::{

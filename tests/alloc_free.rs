@@ -127,4 +127,26 @@ fn release_and_infer_pipeline_is_allocation_free_after_warmup() {
     );
     assert_eq!(served.len(), queries.len());
     assert_eq!(folded.len(), queries.len());
+
+    // The sharded pool: once the hand-off buffers and every shard's
+    // snapshot clone have hit their high-water marks, republishing and
+    // answering warm batches allocate nothing — on the dispatching thread
+    // *or* the workers (the counter is process-global, so worker-side
+    // allocations would land in the delta too). Floor 0 forces the
+    // worker hand-off path rather than the serial fallback.
+    let mut pool = ShardPool::with_floor(&snapshot, 2, 0);
+    let mut pooled = Vec::new();
+    pool.publish(&snapshot);
+    pool.answer_into(&queries, &mut pooled);
+    let during_pool = allocations_during(|| {
+        for _ in 0..8 {
+            pool.publish(&snapshot);
+            pool.answer_into(&queries, &mut pooled);
+        }
+    });
+    assert_eq!(
+        during_pool, 0,
+        "warm ShardPool publish + answer_into allocated"
+    );
+    assert_eq!(pooled, served, "pool answers must match the serial batch");
 }
