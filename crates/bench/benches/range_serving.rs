@@ -16,7 +16,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use hc_core::{
-    BatchInference, ConsistentSnapshot, HierarchicalUniversal, Rounding, ShardPool, SubtreeServer,
+    AccuracyTarget, BatchInference, ConsistentSnapshot, HierarchicalUniversal, Rounding, ShardPool,
+    StrategyPlanner, SubtreeServer,
 };
 use hc_data::{Domain, Histogram, Interval, RangeWorkload};
 use hc_mech::{Epsilon, TreeShape};
@@ -330,6 +331,28 @@ fn bench_snapshot_rebuild(c: &mut Criterion) {
     group.finish();
 }
 
+/// The strategy planner's two entry modes: forward workload pricing and the
+/// accuracy-target inversion (monotone bisection over the sampled
+/// decomposition profiles). This is the once-per-registration cost a tenant
+/// pays — bounded here so the accuracy front door stays cheap enough to sit
+/// on the service's register path.
+fn bench_planner(c: &mut Criterion) {
+    let planner = StrategyPlanner::new(DOMAIN, Epsilon::new(0.1).expect("valid ε"));
+    let workload = [
+        RangeWorkload::new(DOMAIN, 1 << 4),
+        RangeWorkload::new(DOMAIN, 1 << 12),
+    ];
+    let target = AccuracyTarget::new(0.05, 50.0).with_workload(workload.to_vec());
+    let mut group = c.benchmark_group("range_serving_planner");
+    group.bench_function("forward_plan", |b| {
+        b.iter(|| black_box(planner.plan(black_box(&workload))))
+    });
+    group.bench_function("accuracy_ranked", |b| {
+        b.iter(|| black_box(planner.plan_ranked(black_box(&target))))
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_snapshot,
@@ -340,6 +363,7 @@ criterion_group!(
     bench_subtree_fold_scale,
     bench_snapshot_parallel_scale,
     bench_snapshot_sharded,
-    bench_snapshot_rebuild_scale
+    bench_snapshot_rebuild_scale,
+    bench_planner
 );
 criterion_main!(benches);

@@ -1,0 +1,4 @@
+fn main() {
+    let cfg = hc_bench::RunConfig::from_env();
+    print!("{}", hc_bench::experiments::accuracy_planner::run(cfg));
+}

@@ -26,6 +26,7 @@ fn main() {
         ("ablation_nonneg", exp::ablation_nonneg::run),
         ("ablation_geometric", exp::ablation_geometric::run),
         ("ablation_quadtree", exp::ablation_quadtree::run),
+        ("accuracy_planner", exp::accuracy_planner::run),
     ];
     for (name, run) in sections {
         println!("########## {name} ##########");

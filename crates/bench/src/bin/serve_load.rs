@@ -417,8 +417,8 @@ fn run_verify(args: &Args) {
             batch[batch.len() - 1]
         );
     }
-    for (purpose, eps) in service.ledger(id).expect("ledger") {
-        println!("  ledger {purpose}: {eps:?}");
+    for entry in service.ledger(id).expect("ledger") {
+        println!("  ledger {}: {:?}", entry.label, entry.epsilon);
     }
     println!(
         "  remaining budget: {:?}",

@@ -32,6 +32,7 @@ pub mod ablation_matrix;
 pub mod ablation_nonneg;
 pub mod ablation_quadtree;
 pub mod ablation_wavelet;
+pub mod accuracy_planner;
 pub mod appendix_e;
 pub mod fig2;
 pub mod fig3;

@@ -49,6 +49,7 @@
 #![deny(rust_2018_idioms)]
 #![warn(missing_docs)]
 
+pub mod accuracy;
 pub mod budgeted;
 pub mod engine;
 pub mod error;
@@ -61,6 +62,11 @@ pub mod unattributed;
 pub mod universal;
 pub mod weighted;
 
+pub use accuracy::{
+    alpha_half_width, det_cbrt, epsilon_for_alpha_width, epsilon_for_hier_error,
+    epsilon_for_thm4_hbar, epsilon_for_unit_error, epsilon_for_unit_range_error, invert_monotone,
+    optimal_custom_split, stability_alpha_error, stability_epsilon, AccuracyTarget, Guarantee,
+};
 pub use budgeted::{BudgetSplit, BudgetedHierarchical, BudgetedTreeRelease};
 pub use engine::{effective_threads, BatchInference, LevelTree};
 pub use error::{mean_absolute_error, per_position_squared_error, sum_squared_error};
@@ -68,8 +74,8 @@ pub use hier::{enforce_nonnegativity, hierarchical_inference, ConsistentTree};
 pub use isotonic::{isotonic_regression, isotonic_regression_weighted, minmax_reference};
 pub use shard::ShardPool;
 pub use snapshot::{
-    union_bound_interval, ConsistentSnapshot, ReleaseStrategy, SizePrediction, StrategyPlan,
-    StrategyPlanner, SubtreeServer, PARALLEL_SERIAL_FLOOR, SHARD_SERIAL_FLOOR,
+    union_bound_interval, ConsistentSnapshot, PlanInput, ReleaseStrategy, SizePrediction,
+    StrategyPlan, StrategyPlanner, SubtreeServer, PARALLEL_SERIAL_FLOOR, SHARD_SERIAL_FLOOR,
 };
 pub use unattributed::{SortedRelease, UnattributedHistogram};
 pub use universal::{

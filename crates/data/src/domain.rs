@@ -64,6 +64,20 @@ impl Domain {
 
 /// A closed interval `[lo, hi]` of domain indices — the paper's `c([x, y])`
 /// predicate range.
+///
+/// # Range-vocabulary convention
+///
+/// The workspace has exactly two range types and one conversion boundary:
+///
+/// * `Interval` (this type) — **inclusive** `[lo, hi]`, structurally
+///   non-empty. The inference/serving core speaks only this.
+/// * `hc_serve::RangeQuery` — **half-open** `[lo, hi)`, empties allowed.
+///   The service boundary speaks only that.
+///
+/// All conversions route through [`Interval::half_open`] /
+/// [`Interval::to_half_open`] (the serve layer's `From`/`TryFrom` impls
+/// delegate here), so the `hi − 1` / `hi + 1` arithmetic lives in exactly
+/// one audited place.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Interval {
     lo: usize,
@@ -76,6 +90,24 @@ impl Interval {
     pub fn new(lo: usize, hi: usize) -> Self {
         assert!(lo <= hi, "interval bounds reversed: [{lo}, {hi}]");
         Self { lo, hi }
+    }
+
+    /// Builds the inclusive interval covering the half-open range
+    /// `[lo, hi)` — `None` when the range is empty (`lo == hi`), since
+    /// intervals are structurally non-empty.
+    ///
+    /// # Panics
+    ///
+    /// If `lo > hi` (reversed half-open bounds are malformed, not empty).
+    pub fn half_open(lo: usize, hi: usize) -> Option<Self> {
+        assert!(lo <= hi, "half-open bounds reversed: [{lo}, {hi})");
+        (lo < hi).then(|| Self { lo, hi: hi - 1 })
+    }
+
+    /// This interval as half-open `(lo, hi_exclusive)` bounds.
+    #[inline]
+    pub fn to_half_open(&self) -> (usize, usize) {
+        (self.lo, self.hi + 1)
     }
 
     /// Inclusive lower bound.
@@ -135,6 +167,21 @@ mod tests {
     #[test]
     fn rejects_empty_domain() {
         assert_eq!(Domain::new("x", 0), Err(DataError::EmptyDomain));
+    }
+
+    #[test]
+    fn half_open_round_trips_and_rejects_empties() {
+        let i = Interval::half_open(2, 6).unwrap();
+        assert_eq!(i, Interval::new(2, 5));
+        assert_eq!(i.to_half_open(), (2, 6));
+        assert_eq!(Interval::half_open(4, 4), None);
+        assert_eq!(Interval::half_open(0, 1), Some(Interval::new(0, 0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "half-open bounds reversed")]
+    fn half_open_rejects_reversed_bounds() {
+        let _ = Interval::half_open(5, 2);
     }
 
     #[test]

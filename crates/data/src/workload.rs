@@ -14,7 +14,7 @@ pub fn dyadic_sizes(tree_height: usize) -> Vec<usize> {
 /// A generator of uniformly-located range queries of a fixed size, matching
 /// the experimental protocol of Sec. 5.2 ("for each fixed size, we select
 /// the location uniformly at random").
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RangeWorkload {
     domain_size: usize,
     range_size: usize,

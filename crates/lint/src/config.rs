@@ -127,6 +127,30 @@ pub const HOT_FUNCTIONS: &[(&str, &[&str])] = &[
         ],
     ),
     (
+        "crates/core/src/accuracy.rs",
+        &[
+            // The planner's inner pricing loops call these once per sampled
+            // position × candidate ε (bisection multiplies that by ~200
+            // probes), so they must stay allocation-free.
+            "det_cbrt",
+            "alpha_half_width",
+            "epsilon_for_alpha_width",
+            "invert_monotone",
+        ],
+    ),
+    (
+        "crates/mech/src/budget.rs",
+        &[
+            // Accountant getters sit on the serving read path (checked per
+            // publish); `spend`/`spend_at` allocate their ledger rows by
+            // design and are deliberately not listed.
+            "remaining",
+            "remaining_delta",
+            "spent",
+            "spent_delta",
+        ],
+    ),
+    (
         "crates/core/src/shard.rs",
         &[
             // The persistent pool's per-batch paths: dispatch/collect moves

@@ -3,9 +3,10 @@
 //!
 //! This crate implements Sec. 2 of the paper:
 //!
-//! * [`Epsilon`] / [`PrivacyBudget`] — the privacy parameter and sequential
-//!   composition (a protocol answering sequence *i* with `εᵢ` is
-//!   `Σεᵢ`-differentially private).
+//! * [`Epsilon`] / [`PrivacyBudget`] / [`PrivacyAccountant`] — the privacy
+//!   parameter and sequential composition (a protocol answering sequence
+//!   *i* with `εᵢ` is `Σεᵢ`-differentially private); the accountant adds
+//!   named (ε,δ) ledger entries for serving-layer audit trails.
 //! * [`QuerySequence`] — the abstraction for the paper's vector-valued count
 //!   queries, with the three concrete strategies:
 //!   [`UnitQuery`] (`L`), [`SortedQuery`] (`S`, Sec. 3) and
@@ -29,8 +30,8 @@ mod query;
 mod sensitivity;
 pub mod sequences;
 
-pub use budget::{BudgetError, Epsilon, PrivacyBudget};
-pub use confidence::{laplace_half_width, ConfidenceInterval};
+pub use budget::{BudgetError, Epsilon, LedgerEntry, PrivacyAccountant, PrivacyBudget};
+pub use confidence::{laplace_half_width, stability_half_width, ConfidenceInterval};
 pub use laplace_mech::{LaplaceMechanism, NoisyOutput, PreparedMechanism};
 // The sampling-backend choice travels with the mechanism, so re-export it
 // here: code configuring a `LaplaceMechanism` should not need a direct

@@ -14,11 +14,16 @@
 //!   `effective_threads`-governed shard, so concurrent readers pin
 //!   shard-local snapshots round-robin instead of contending on one cell.
 //! * [`HistogramService`] / [`TenantConfig`] — per-tenant domain shape,
-//!   [`hc_core::ReleaseStrategy`], and a [`hc_mech::PrivacyBudget`] ledger
-//!   debited once per release under sequential composition.
+//!   [`hc_core::ReleaseStrategy`] (hand-picked, or planned at registration
+//!   from an [`hc_core::AccuracyTarget`] via
+//!   [`TenantConfig::with_accuracy`]), and a [`hc_mech::PrivacyAccountant`]
+//!   debited once per release under sequential composition, with typed
+//!   [`hc_mech::LedgerEntry`] audit rows.
 //! * [`RangeQuery`] — the half-open wire query; unlike the core's
 //!   structurally non-empty `Interval`, empty client requests are
-//!   representable and answered exactly.
+//!   representable and answered exactly. The conversion convention is
+//!   documented on [`RangeQuery`] and routed through
+//!   `Interval::half_open` — one audited path in each direction.
 //!
 //! The load-test binary (`crates/bench/src/bin/serve_load.rs`) drives this
 //! crate open-loop and feeds its latency envelope into the CI benchmark
@@ -34,5 +39,5 @@ pub mod query;
 pub mod service;
 
 pub use cell::{PinnedSnapshot, SnapshotCell, SnapshotShards};
-pub use query::RangeQuery;
+pub use query::{EmptyRange, RangeQuery};
 pub use service::{HistogramService, PublishReport, ServeError, TenantConfig, TenantId};

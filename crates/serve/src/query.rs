@@ -9,6 +9,14 @@
 //! nothing is `0.0`, confidence width zero via
 //! [`hc_core::union_bound_interval`] at `m = 0`), and non-empty ranges
 //! lower to an [`Interval`] for the snapshot's O(1) prefix serving.
+//!
+//! # Range-vocabulary convention
+//!
+//! Inclusive ↔ half-open conversions go through exactly one audited path:
+//! [`Interval::half_open`] and [`Interval::to_half_open`] in `hc-data`.
+//! This module's `From<Interval>` / `TryFrom<RangeQuery>` impls (and the
+//! named [`RangeQuery::from_interval`] / [`RangeQuery::to_interval`]
+//! helpers) delegate there — no `±1` arithmetic is performed here.
 
 use hc_data::Interval;
 
@@ -34,10 +42,8 @@ impl RangeQuery {
 
     /// The inclusive interval `[lo, hi]`, as a half-open `[lo, hi + 1)`.
     pub fn from_interval(interval: Interval) -> Self {
-        Self {
-            lo: interval.lo(),
-            hi: interval.hi() + 1,
-        }
+        let (lo, hi) = interval.to_half_open();
+        Self { lo, hi }
     }
 
     /// Inclusive lower bound.
@@ -67,11 +73,41 @@ impl RangeQuery {
     /// Lowers to the core's inclusive [`Interval`]; `None` when empty.
     #[inline]
     pub fn to_interval(self) -> Option<Interval> {
-        if self.is_empty() {
-            None
-        } else {
-            Some(Interval::new(self.lo, self.hi - 1))
-        }
+        Interval::half_open(self.lo, self.hi)
+    }
+}
+
+impl From<Interval> for RangeQuery {
+    fn from(interval: Interval) -> Self {
+        RangeQuery::from_interval(interval)
+    }
+}
+
+/// The error for [`Interval`]'s `TryFrom<RangeQuery>`: the query was empty,
+/// and intervals are structurally non-empty.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EmptyRange {
+    /// The empty query's position (`lo == hi`).
+    pub at: usize,
+}
+
+impl core::fmt::Display for EmptyRange {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "empty range query at bin {} has no interval form",
+            self.at
+        )
+    }
+}
+
+impl std::error::Error for EmptyRange {}
+
+impl TryFrom<RangeQuery> for Interval {
+    type Error = EmptyRange;
+
+    fn try_from(query: RangeQuery) -> Result<Self, Self::Error> {
+        query.to_interval().ok_or(EmptyRange { at: query.lo() })
     }
 }
 
@@ -84,6 +120,13 @@ mod tests {
         let q = RangeQuery::from_interval(Interval::new(2, 5));
         assert_eq!((q.lo(), q.hi(), q.len()), (2, 6, 4));
         assert_eq!(q.to_interval(), Some(Interval::new(2, 5)));
+        // The std conversion traits take the same audited path.
+        assert_eq!(RangeQuery::from(Interval::new(2, 5)), q);
+        assert_eq!(Interval::try_from(q), Ok(Interval::new(2, 5)));
+        assert_eq!(
+            Interval::try_from(RangeQuery::new(3, 3)),
+            Err(EmptyRange { at: 3 })
+        );
     }
 
     #[test]

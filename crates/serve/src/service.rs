@@ -2,8 +2,9 @@
 //! ingest, strategy-dispatched releases, and epoch-swapped serving.
 //!
 //! Each tenant owns a true histogram (never served directly), a
-//! [`PrivacyBudget`] account debited once per release under sequential
-//! composition, and a [`SnapshotShards`] bank — one
+//! [`PrivacyAccountant`] debited once per release under sequential
+//! composition (with named (ε,δ) ledger entries), and a [`SnapshotShards`]
+//! bank — one
 //! [`crate::cell::SnapshotCell`] per `effective_threads`-governed shard —
 //! holding the currently-served [`ConsistentSnapshot`]. Ingest accumulates
 //! count deltas behind the tenant's write lock; a release — on the
@@ -24,13 +25,13 @@ use std::fmt;
 use std::sync::Mutex;
 
 use hc_core::{
-    effective_threads, BatchInference, BudgetSplit, BudgetedHierarchical, ConsistentSnapshot,
-    FlatUniversal, HierarchicalUniversal, ReleaseStrategy, Rounding,
+    effective_threads, AccuracyTarget, BatchInference, BudgetedHierarchical, ConsistentSnapshot,
+    FlatUniversal, HierarchicalUniversal, ReleaseStrategy, Rounding, StrategyPlanner,
 };
 use hc_data::{Domain, Histogram};
 use hc_mech::{
-    BudgetError, ConfidenceInterval, Epsilon, HierarchicalQuery, PreparedMechanism, PrivacyBudget,
-    TreeShape,
+    BudgetError, ConfidenceInterval, Epsilon, HierarchicalQuery, LedgerEntry, PreparedMechanism,
+    PrivacyAccountant, TreeShape,
 };
 use hc_noise::{NoiseBackend, SeedStream};
 
@@ -70,6 +71,21 @@ pub enum ServeError {
     },
     /// The privacy-budget ledger refused the spend.
     Budget(BudgetError),
+    /// The tenant set both an explicit strategy and an accuracy target —
+    /// the two prescriptions could silently disagree, so registration
+    /// refuses to guess which one wins.
+    ConflictingStrategy {
+        /// The tenant's name.
+        name: String,
+    },
+    /// The accuracy target's workload was declared over a different domain
+    /// than the tenant serves.
+    AccuracyDomainMismatch {
+        /// The workload's domain size.
+        workload_domain: usize,
+        /// The tenant's domain size.
+        tenant_domain: usize,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -87,6 +103,17 @@ impl fmt::Display for ServeError {
                 write!(f, "query bound {hi} outside domain of size {domain_size}")
             }
             ServeError::Budget(e) => write!(f, "budget refused: {e}"),
+            ServeError::ConflictingStrategy { name } => write!(
+                f,
+                "tenant {name:?} sets both an explicit strategy and an accuracy target"
+            ),
+            ServeError::AccuracyDomainMismatch {
+                workload_domain,
+                tenant_domain,
+            } => write!(
+                f,
+                "accuracy workload declared over domain {workload_domain}, tenant serves {tenant_domain}"
+            ),
         }
     }
 }
@@ -111,6 +138,8 @@ pub struct TenantConfig {
     total_epsilon: f64,
     epsilon_per_release: f64,
     strategy: ReleaseStrategy,
+    explicit_strategy: bool,
+    accuracy: Option<AccuracyTarget>,
     backend: NoiseBackend,
     refresh_every: u64,
     seed: u64,
@@ -130,6 +159,8 @@ impl TenantConfig {
             total_epsilon: 1.0,
             epsilon_per_release: 0.1,
             strategy: ReleaseStrategy::Hierarchical { branching: 2 },
+            explicit_strategy: false,
+            accuracy: None,
             backend: NoiseBackend::Reference,
             refresh_every: 1000,
             seed: 0,
@@ -146,9 +177,25 @@ impl TenantConfig {
         self
     }
 
-    /// Sets the release strategy (flat `L̃`, hierarchical `H̄`, or budgeted).
+    /// Sets the release strategy (flat `L̃`, hierarchical `H̄`, or budgeted)
+    /// explicitly. Mutually exclusive with [`Self::with_accuracy`]:
+    /// registering a config that sets both fails with
+    /// [`ServeError::ConflictingStrategy`].
     pub fn with_strategy(mut self, strategy: ReleaseStrategy) -> Self {
         self.strategy = strategy;
+        self.explicit_strategy = true;
+        self
+    }
+
+    /// Plans the strategy *and* the per-release ε from an accuracy target
+    /// at registration: the service runs
+    /// [`StrategyPlanner::plan`] over the target and adopts the
+    /// cheapest-ε plan, overriding the default strategy and
+    /// `epsilon_per_release` (the lifetime `total_epsilon` is untouched —
+    /// size it to the number of refreshes the tenant should get). Mutually
+    /// exclusive with [`Self::with_strategy`].
+    pub fn with_accuracy(mut self, target: AccuracyTarget) -> Self {
+        self.accuracy = Some(target);
         self
     }
 
@@ -224,7 +271,7 @@ struct WriteState {
     domain: Domain,
     pending_deltas: u64,
     releases: u64,
-    budget: PrivacyBudget,
+    budget: PrivacyAccountant,
     pipeline: Pipeline,
 }
 
@@ -287,6 +334,7 @@ impl HistogramService {
     /// Registers a tenant and publishes its epoch-0 snapshot: the all-zeros
     /// histogram, which depends on no data and therefore spends no budget.
     pub fn register(&mut self, config: TenantConfig) -> Result<TenantId, ServeError> {
+        let mut config = config;
         if config.domain_size == 0 {
             return Err(ServeError::EmptyDomain);
         }
@@ -295,18 +343,41 @@ impl HistogramService {
                 name: config.name.clone(),
             });
         }
+        // Accuracy-first registration: plan the strategy and per-release ε
+        // from the target before the pipeline is built. An explicit
+        // strategy alongside a target is refused rather than second-guessed.
+        let mut delta_allowance = 0.0;
+        if let Some(target) = config.accuracy.take() {
+            if config.explicit_strategy {
+                return Err(ServeError::ConflictingStrategy { name: config.name });
+            }
+            if let Some(w) = target
+                .workload()
+                .iter()
+                .find(|w| w.domain_size() != config.domain_size)
+            {
+                return Err(ServeError::AccuracyDomainMismatch {
+                    workload_domain: w.domain_size(),
+                    tenant_domain: config.domain_size,
+                });
+            }
+            let plan = StrategyPlanner::for_domain(config.domain_size).plan(&target);
+            config.strategy = plan.choice;
+            config.epsilon_per_release = plan.epsilon;
+            delta_allowance = target.delta();
+        }
         let epsilon = Epsilon::new(config.epsilon_per_release)?;
         let total = Epsilon::new(config.total_epsilon)?;
         let domain =
             Domain::new(config.name.as_str(), config.domain_size).expect("size checked above");
-        let pipeline = match config.strategy {
+        let pipeline = match &config.strategy {
             ReleaseStrategy::Flat => Pipeline::Flat {
                 mech: FlatUniversal::new(epsilon).with_backend(config.backend),
             },
             ReleaseStrategy::Hierarchical { branching } => {
                 let mech =
-                    HierarchicalUniversal::new(epsilon, branching).with_backend(config.backend);
-                let shape = TreeShape::for_domain(config.domain_size, branching);
+                    HierarchicalUniversal::new(epsilon, *branching).with_backend(config.backend);
+                let shape = TreeShape::for_domain(config.domain_size, *branching);
                 Pipeline::Hierarchical(Box::new(HierPipeline {
                     prepared: mech.prepare(config.domain_size),
                     engine: BatchInference::for_shape(&shape),
@@ -314,25 +385,24 @@ impl HistogramService {
                     shape,
                 }))
             }
-            ReleaseStrategy::Budgeted { branching, ratio } => {
-                let shape = TreeShape::for_domain(config.domain_size, branching);
+            ReleaseStrategy::Budgeted { branching, split } => {
+                let shape = TreeShape::for_domain(config.domain_size, *branching);
                 Pipeline::Budgeted(Box::new(BudgetedPipeline {
-                    mech: BudgetedHierarchical::new(
-                        epsilon,
-                        branching,
-                        BudgetSplit::Geometric { ratio },
-                    )
-                    .with_backend(config.backend),
+                    mech: BudgetedHierarchical::new(epsilon, *branching, split.clone())
+                        .with_backend(config.backend),
                     engine: BatchInference::for_shape(&shape),
                 }))
             }
         };
+        let budget = PrivacyAccountant::new(total)
+            .with_delta(delta_allowance)
+            .map_err(ServeError::Budget)?;
         let write = WriteState {
             counts: vec![0; config.domain_size],
             domain,
             pending_deltas: 0,
             releases: 0,
-            budget: PrivacyBudget::new(total),
+            budget,
             pipeline,
         };
         let initial =
@@ -412,9 +482,16 @@ impl HistogramService {
     ) -> Result<PublishReport, ServeError> {
         let release_index = state.releases;
         let epsilon = Epsilon::new(tenant.config.epsilon_per_release)?;
+        // Epoch 0 is the data-free zeros snapshot, so release i funds
+        // epoch i + 1.
         let spent = state
             .budget
-            .spend(format!("release-{release_index}"), epsilon)?
+            .spend_at(
+                format!("release-{release_index}"),
+                epsilon,
+                0.0,
+                release_index + 1,
+            )?
             .value();
         let mut rng = SeedStream::new(tenant.config.seed).rng(release_index);
         let histogram = Histogram::from_counts(state.domain.clone(), state.counts.clone());
@@ -559,11 +636,45 @@ impl HistogramService {
         Ok(state.budget.remaining())
     }
 
-    /// The tenant's spend ledger: `(purpose, ε)` in release order.
-    pub fn ledger(&self, id: TenantId) -> Result<Vec<(String, f64)>, ServeError> {
+    /// The tenant's spend ledger in release order — typed
+    /// [`LedgerEntry`] values (label, ε, δ, funded epoch), not positional
+    /// tuples.
+    pub fn ledger(&self, id: TenantId) -> Result<Vec<LedgerEntry>, ServeError> {
         let tenant = self.tenant(id)?;
         let state = tenant.write.lock().expect("tenant lock never poisoned");
         Ok(state.budget.ledger().to_vec())
+    }
+
+    /// The release strategy the tenant is running — the registered one, or
+    /// the planner's pick for tenants that registered with
+    /// [`TenantConfig::with_accuracy`].
+    pub fn strategy(&self, id: TenantId) -> Result<ReleaseStrategy, ServeError> {
+        Ok(self.tenant(id)?.config.strategy.clone())
+    }
+
+    /// The ε the tenant debits per release — the registered value, or the
+    /// solved minimum for accuracy-planned tenants.
+    pub fn epsilon_per_release(&self, id: TenantId) -> Result<f64, ServeError> {
+        Ok(self.tenant(id)?.config.epsilon_per_release)
+    }
+
+    /// Debits an out-of-band (ε, δ) spend against the tenant's accountant
+    /// under a caller-chosen label — the hook for privacy costs incurred
+    /// outside the release pipeline (e.g. a stability-mechanism release
+    /// over the tenant's sparse domain). Recorded at epoch 0 since no
+    /// served snapshot is funded.
+    pub fn debit(
+        &self,
+        id: TenantId,
+        label: impl Into<String>,
+        epsilon: f64,
+        delta: f64,
+    ) -> Result<(), ServeError> {
+        let tenant = self.tenant(id)?;
+        let mut state = tenant.write.lock().expect("tenant lock never poisoned");
+        let epsilon = Epsilon::new(epsilon)?;
+        state.budget.spend_at(label, epsilon, delta, 0)?;
+        Ok(())
     }
 }
 
@@ -644,7 +755,7 @@ mod tests {
             .register(
                 config("budgeted", 16).with_strategy(ReleaseStrategy::Budgeted {
                     branching: 2,
-                    ratio: 1.5,
+                    split: hc_core::BudgetSplit::Geometric { ratio: 1.5 },
                 }),
             )
             .unwrap();
@@ -757,8 +868,18 @@ mod tests {
         assert_eq!(
             ledger,
             vec![
-                ("release-0".to_string(), 0.25),
-                ("release-1".to_string(), 0.25)
+                LedgerEntry {
+                    label: "release-0".to_string(),
+                    epsilon: 0.25,
+                    delta: 0.0,
+                    release_epoch: 1,
+                },
+                LedgerEntry {
+                    label: "release-1".to_string(),
+                    epsilon: 0.25,
+                    delta: 0.0,
+                    release_epoch: 2,
+                },
             ]
         );
     }
@@ -837,5 +958,95 @@ mod tests {
             out
         };
         assert_eq!(build(0), build(2));
+    }
+
+    #[test]
+    fn accuracy_registration_plans_strategy_and_epsilon() {
+        use hc_data::RangeWorkload;
+        let n = 1 << 10;
+        let target = AccuracyTarget::new(0.05, 50.0)
+            .with_workload(vec![RangeWorkload::new(n, 256)])
+            .with_delta(1e-7);
+        let mut service = HistogramService::new();
+        let id = service
+            .register(
+                TenantConfig::new("planned", n)
+                    .with_budget(100.0, 0.1) // per-release ε is overridden below
+                    .with_refresh_every(0)
+                    .with_seed(5)
+                    .with_accuracy(target.clone()),
+            )
+            .unwrap();
+        // The adopted plan is exactly the planner's top-ranked one.
+        let expected = StrategyPlanner::for_domain(n).plan(&target);
+        assert_eq!(service.strategy(id).unwrap(), expected.choice);
+        assert_eq!(service.epsilon_per_release(id).unwrap(), expected.epsilon);
+        // And the release pipeline actually debits the solved ε.
+        service.ingest(id, &[(9, 3)]).unwrap();
+        let report = service.publish(id).unwrap();
+        assert_eq!(report.spent, expected.epsilon);
+        // The target's δ became the accountant's allowance: a stability
+        // debit within it lands, one beyond it is refused.
+        service.debit(id, "stability", 0.5, 5e-8).unwrap();
+        let err = service.debit(id, "stability-2", 0.5, 9e-8).unwrap_err();
+        assert!(matches!(
+            err,
+            ServeError::Budget(BudgetError::DeltaExhausted { .. })
+        ));
+        let ledger = service.ledger(id).unwrap();
+        assert_eq!(ledger.len(), 2);
+        assert_eq!(ledger[1].label, "stability");
+        assert_eq!(ledger[1].delta, 5e-8);
+        assert_eq!(ledger[1].release_epoch, 0);
+    }
+
+    #[test]
+    fn accuracy_and_explicit_strategy_conflict_at_registration() {
+        let mut service = HistogramService::new();
+        let err = service
+            .register(
+                TenantConfig::new("both", 64)
+                    .with_strategy(ReleaseStrategy::Flat)
+                    .with_accuracy(AccuracyTarget::new(0.05, 50.0)),
+            )
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ServeError::ConflictingStrategy {
+                name: "both".into()
+            }
+        );
+    }
+
+    #[test]
+    fn accuracy_workload_must_match_the_tenant_domain() {
+        use hc_data::RangeWorkload;
+        let mut service = HistogramService::new();
+        let err = service
+            .register(TenantConfig::new("mismatch", 64).with_accuracy(
+                AccuracyTarget::new(0.05, 50.0).with_workload(vec![RangeWorkload::new(128, 4)]),
+            ))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ServeError::AccuracyDomainMismatch {
+                workload_domain: 128,
+                tenant_domain: 64
+            }
+        );
+    }
+
+    #[test]
+    fn pure_epsilon_tenants_refuse_delta_debits() {
+        let mut service = HistogramService::new();
+        let id = service.register(config("t", 8)).unwrap();
+        // ε-only debits are fine out of band…
+        service.debit(id, "side-channel", 0.1, 0.0).unwrap();
+        // …but a positive δ needs an allowance no pure-ε tenant has.
+        let err = service.debit(id, "stability", 0.1, 1e-9).unwrap_err();
+        assert!(matches!(
+            err,
+            ServeError::Budget(BudgetError::DeltaExhausted { .. })
+        ));
     }
 }

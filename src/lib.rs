@@ -50,9 +50,9 @@
 //! | [`noise`] | Laplace / geometric / Zipf / Poisson sampling, seed streams |
 //! | [`linalg`] | dense + sparse linear algebra used to *verify* the closed forms |
 //! | [`data`] | domains, relations, histograms, graphs, synthetic datasets |
-//! | [`mech`] | ε budgets, query sequences `L`/`S`/`H`, sensitivity, Laplace mechanism |
-//! | [`infer`] | **the paper's contribution**: isotonic + hierarchical inference, estimators |
-//! | [`serve`] | long-lived multi-tenant service: epoch-swapped snapshots, budget ledgers |
+//! | [`mech`] | ε budgets, the (ε, δ) [`mech::PrivacyAccountant`], query sequences `L`/`S`/`H`, sensitivity, Laplace mechanism |
+//! | [`infer`] | **the paper's contribution**: isotonic + hierarchical inference, estimators, and the accuracy-first planner ([`infer::AccuracyTarget`] → ranked [`infer::StrategyPlan`]s) |
+//! | [`serve`] | long-lived multi-tenant service: epoch-swapped snapshots, accountant-backed ledgers, accuracy-planned registration |
 //! | [`ext`] | wavelet mechanism, Blum et al. baseline, 2-D quadtrees, graphical repair, matrix mechanism |
 //!
 //! Experiments reproducing every table and figure live in the `hc-bench`
@@ -74,16 +74,16 @@ pub use hc_serve as serve;
 pub mod prelude {
     pub use hc_core::{
         effective_threads, enforce_nonnegativity, hierarchical_inference, isotonic_regression,
-        mean_absolute_error, sum_squared_error, weighted_hierarchical_inference, BatchInference,
-        BudgetSplit, BudgetedHierarchical, ConsistentSnapshot, ConsistentTree, FlatUniversal,
-        HierarchicalUniversal, LevelTree, ReleaseStrategy, RoundedTree, Rounding, ShardPool,
-        SortedRelease, StrategyPlan, StrategyPlanner, SubtreeServer, TreeRelease,
-        UnattributedHistogram,
+        mean_absolute_error, sum_squared_error, weighted_hierarchical_inference, AccuracyTarget,
+        BatchInference, BudgetSplit, BudgetedHierarchical, ConsistentSnapshot, ConsistentTree,
+        FlatUniversal, Guarantee, HierarchicalUniversal, LevelTree, PlanInput, ReleaseStrategy,
+        RoundedTree, Rounding, ShardPool, SortedRelease, StrategyPlan, StrategyPlanner,
+        SubtreeServer, TreeRelease, UnattributedHistogram,
     };
-    pub use hc_data::{Domain, Graph, Histogram, Interval, Relation};
+    pub use hc_data::{Domain, Graph, Histogram, Interval, RangeWorkload, Relation};
     pub use hc_mech::{
-        Epsilon, HierarchicalQuery, LaplaceMechanism, PreparedMechanism, PrivacyBudget,
-        QuerySequence, SortedQuery, TreeShape, UnitQuery,
+        Epsilon, HierarchicalQuery, LaplaceMechanism, LedgerEntry, PreparedMechanism,
+        PrivacyAccountant, PrivacyBudget, QuerySequence, SortedQuery, TreeShape, UnitQuery,
     };
     pub use hc_noise::{rng_from_seed, Laplace, NoiseBackend, SeedStream};
     pub use hc_serve::{HistogramService, RangeQuery, TenantConfig};

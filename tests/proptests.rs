@@ -8,7 +8,8 @@ use hist_consistency::ext::graphical::{is_graphical, nearest_graphical};
 use hist_consistency::ext::quadtree::{morton_decode, morton_encode};
 use hist_consistency::ext::wavelet::HaarQuery;
 use hist_consistency::infer::{
-    hierarchical_inference, isotonic_regression, isotonic_regression_weighted, minmax_reference,
+    alpha_half_width, epsilon_for_alpha_width, hierarchical_inference, isotonic_regression,
+    isotonic_regression_weighted, minmax_reference, SizePrediction,
 };
 use hist_consistency::prelude::*;
 use proptest::prelude::*;
@@ -292,5 +293,87 @@ proptest! {
         let left = histogram.range_count(Interval::new(0, mid - 1));
         let right = histogram.range_count(Interval::new(mid, n - 1));
         prop_assert_eq!(whole, left + right);
+    }
+    // ---------------- accuracy-first planning ----------------
+
+    fn accuracy_inversion_round_trips(
+        sensitivity in 1.0f64..16.0,
+        m in 1usize..4096,
+        alpha in 0.001f64..0.5,
+        half in 1.0f64..1e6,
+    ) {
+        // Solving ε for a target α-width and re-pricing that width at the
+        // solved ε must land back on the target (exact algebra, so the
+        // tolerance is pure float noise).
+        let eps = epsilon_for_alpha_width(sensitivity, m, alpha, half);
+        prop_assert!(eps > 0.0 && eps.is_finite());
+        let back = alpha_half_width(sensitivity / eps, m, alpha);
+        prop_assert!(
+            (back - half).abs() <= 1e-9 * half,
+            "inverted ε {} re-prices to {} instead of {}",
+            eps,
+            back,
+            half
+        );
+    }
+
+    fn custom_split_never_prices_worse_than_geometric(
+        logn in 4u32..11,
+        sizes in prop::collection::vec(1usize..64, 1..4),
+        ratio in 0.3f64..3.0,
+        eps in 0.05f64..2.0,
+    ) {
+        // The workload-optimized custom split minimizes the aggregated
+        // variance objective, so at equal ε its workload-mean price can
+        // never exceed any geometric candidate's (up to the optimizer's
+        // 1e-12 weight floor).
+        let n = 1usize << logn;
+        let planner = StrategyPlanner::new(n, Epsilon::new(eps).unwrap())
+            .with_budget_ratios(vec![ratio]);
+        let workload: Vec<RangeWorkload> = sizes
+            .iter()
+            .map(|&s| RangeWorkload::new(n, s.min(n)))
+            .collect();
+        let plan = planner.plan(&workload[..]);
+        let mean_of = |f: fn(&SizePrediction) -> f64| {
+            plan.per_size.iter().map(f).sum::<f64>() / plan.per_size.len() as f64
+        };
+        prop_assert!(
+            mean_of(|p| p.custom) <= mean_of(|p| p.budgeted) * (1.0 + 1e-9),
+            "custom {} vs geometric {} (ratio {})",
+            mean_of(|p| p.custom),
+            mean_of(|p| p.budgeted),
+            ratio
+        );
+    }
+
+    // ---------------- privacy accounting ----------------
+
+    fn accountant_never_over_spends(
+        total in 0.1f64..5.0,
+        delta_allowance in 1e-9f64..1e-2,
+        spends in prop::collection::vec((0.01f64..1.0, 0.0f64..1e-3), 1..24),
+    ) {
+        // Under any interleaving of named (ε, δ) spends — some of which are
+        // rejected — the accountant's running totals never exceed either
+        // allowance, and the ledger always reconciles with the totals.
+        let mut account = PrivacyAccountant::new(Epsilon::new(total).unwrap())
+            .with_delta(delta_allowance)
+            .unwrap();
+        for (i, (e, d)) in spends.iter().enumerate() {
+            let before = (account.spent(), account.spent_delta());
+            let outcome =
+                account.spend_at(format!("spend-{i}"), Epsilon::new(*e).unwrap(), *d, i as u64);
+            if outcome.is_err() {
+                // Failed spends must leave the account untouched.
+                prop_assert_eq!(before, (account.spent(), account.spent_delta()));
+            }
+            prop_assert!(account.spent() <= total * (1.0 + 1e-9));
+            prop_assert!(account.spent_delta() <= delta_allowance * (1.0 + 1e-9));
+            let ledger_eps: f64 = account.ledger().iter().map(|l| l.epsilon).sum();
+            let ledger_delta: f64 = account.ledger().iter().map(|l| l.delta).sum();
+            prop_assert!((ledger_eps - account.spent()).abs() <= 1e-9 * total.max(1.0));
+            prop_assert!((ledger_delta - account.spent_delta()).abs() <= 1e-9);
+        }
     }
 }

@@ -3,7 +3,7 @@
 //! bit-reproducible for a fixed seed.
 //!
 //! `tests/experiments_smoke.rs` asserts experiment-specific *content*; this
-//! file asserts the *harness contract* shared by all 16 binaries: each
+//! file asserts the *harness contract* shared by all 17 binaries: each
 //! `src/bin/` wrapper delegates to a library `run(RunConfig) -> String`
 //! (`all_experiments` iterates the same list below), so exercising the entry
 //! points here covers every binary without spawning processes.
@@ -30,6 +30,7 @@ const EXPERIMENTS: &[(&str, Experiment)] = &[
     ("ablation_nonneg", exp::ablation_nonneg::run),
     ("ablation_geometric", exp::ablation_geometric::run),
     ("ablation_quadtree", exp::ablation_quadtree::run),
+    ("accuracy_planner", exp::accuracy_planner::run),
 ];
 
 #[test]
