@@ -236,20 +236,39 @@ fn bench_pipeline_batched(c: &mut Criterion) {
                 black_box(out[0])
             });
         });
+        if height <= 21 {
+            // The same fused trial under the wide-lane backend — the
+            // end-to-end payoff of killing the draw floor (the ISSUE-10
+            // acceptance compares this against the default-backend row).
+            let prepared_wide = pipeline.with_backend(NoiseBackend::FastLnWide).prepare(n);
+            let mut rng = rng_from_seed(11);
+            group.bench_with_input(BenchmarkId::new("k2_wide", n), &histogram, |b, h| {
+                b.iter(|| {
+                    engine.release_and_infer_rounded(&prepared_wide, h, &mut rng, &mut out);
+                    black_box(out[0])
+                });
+            });
+        }
     }
     group.finish();
 }
 
 /// The Laplace-draw phase in isolation, per noise backend: the ISSUE-4
 /// acceptance criterion is `fast_ln` ≥ 2× faster than `reference` at the
-/// pipeline's 2^21-draw scale (one draw per node of the 2^20-leaf tree).
+/// pipeline's 2^21-draw scale (one draw per node of the 2^20-leaf tree),
+/// and the ISSUE-10 criterion is `fast_ln_wide` ≥ 1.5× faster again than
+/// `fast_ln` at the same scale.
 fn bench_laplace_fill(c: &mut Criterion) {
     let mut group = c.benchmark_group("laplace_fill");
     let noise = Laplace::centered(210.0).expect("positive scale");
     for &n in &[1usize << 17, (1 << 21) - 1, (1 << 27) - 1] {
         // −1 keeps the 2^21 and 2^27 cases honest about the scalar tail.
         let mut buf = vec![0.0f64; n];
-        for backend in [NoiseBackend::Reference, NoiseBackend::FastLn] {
+        for backend in [
+            NoiseBackend::Reference,
+            NoiseBackend::FastLn,
+            NoiseBackend::FastLnWide,
+        ] {
             let mut rng = rng_from_seed(31);
             group.throughput(Throughput::Elements(n as u64));
             group.bench_with_input(BenchmarkId::new(backend.name(), n + n % 2), &n, |b, _| {

@@ -98,7 +98,9 @@ fn bench_snapshot(c: &mut Criterion) {
 }
 
 /// The decomposition fold (H̃-style serving): O(log n) per query, the
-/// comparison point that shows what the snapshot buys.
+/// comparison point that shows what the snapshot buys. The `len_blocked`
+/// rows are the opt-in lane-blocked fold over the same queries (bit-identical
+/// here — the serving tree is binary — so the delta is pure kernel cost).
 fn bench_subtree_fold(c: &mut Criterion) {
     let (shape, noisy, _) = served_release();
     let server = SubtreeServer::new(&shape);
@@ -113,6 +115,21 @@ fn bench_subtree_fold(c: &mut Criterion) {
                 black_box(out[0])
             });
         });
+        group.bench_with_input(
+            BenchmarkId::new("len_blocked", len),
+            &queries,
+            |b, queries| {
+                b.iter(|| {
+                    server.answer_blocked_into(
+                        &noisy,
+                        Rounding::None,
+                        black_box(queries),
+                        &mut out,
+                    );
+                    black_box(out[0])
+                });
+            },
+        );
     }
     group.finish();
 }
@@ -307,6 +324,16 @@ fn bench_snapshot_rebuild_scale(c: &mut Criterion) {
                 });
             },
         );
+        group.bench_with_input(
+            BenchmarkId::new(format!("d{lg}/leaves_blocked"), domain),
+            &leaves,
+            |b, leaves| {
+                b.iter(|| {
+                    snapshot.rebuild_from_leaves_blocked(black_box(leaves), domain);
+                    black_box(snapshot.total())
+                });
+            },
+        );
     }
     group.finish();
 }
@@ -324,6 +351,18 @@ fn bench_snapshot_rebuild(c: &mut Criterion) {
         |b, hbar| {
             b.iter(|| {
                 snapshot.rebuild_from_tree_values(&shape, black_box(hbar), DOMAIN);
+                black_box(snapshot.total())
+            });
+        },
+    );
+    // The opt-in blocked rebuild (Hillis–Steele in-block scan + carry):
+    // same leaf extraction, reassociated accumulation, own golden pins.
+    group.bench_with_input(
+        BenchmarkId::new("rebuild_blocked", shape.leaves()),
+        &hbar,
+        |b, hbar| {
+            b.iter(|| {
+                snapshot.rebuild_from_tree_values_blocked(&shape, black_box(hbar), DOMAIN);
                 black_box(snapshot.total())
             });
         },

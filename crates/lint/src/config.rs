@@ -115,9 +115,15 @@ pub const HOT_FUNCTIONS: &[(&str, &[&str])] = &[
             "answer_parallel",
             "answer_parallel_with_floor",
             "answer_recursive",
+            "answer_blocked",
+            "answer_blocked_into",
             "fold_two_fringe",
+            "fold_two_fringe_blocked",
+            "sum_run_blocked",
             "rebuild_from_leaves",
+            "rebuild_from_leaves_blocked",
             "rebuild_from_tree_values",
+            "rebuild_from_tree_values_blocked",
             "total",
             "for_each_node",
             "for_each_node_at_depth",
@@ -189,6 +195,10 @@ pub const HOT_FUNCTIONS: &[(&str, &[&str])] = &[
             "add_noise_with",
             "fast_ln_pass",
             "fast_magnitude",
+            "sample_from_bits",
+            "fill_wide",
+            "draw_strip",
+            "transform_strip",
         ],
     ),
     ("crates/noise/src/backend.rs", &["fast_ln"]),

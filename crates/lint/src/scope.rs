@@ -73,12 +73,20 @@ pub fn analyze(lexed: &Lexed) -> Scopes {
                 if name_tok.kind == TokKind::Ident {
                     let mut j = i + 2;
                     let mut body = None;
+                    // Array types in the signature (`[u64; LANES]`) contain a
+                    // `;` that must not be read as "declaration, no body" —
+                    // only a `;` outside square brackets terminates the item.
+                    let mut bracket_depth = 0usize;
                     while let Some(t) = tokens.get(j) {
                         if t.is_punct('{') {
                             body = Some(j);
                             break;
                         }
-                        if t.is_punct(';') {
+                        if t.is_punct('[') {
+                            bracket_depth += 1;
+                        } else if t.is_punct(']') {
+                            bracket_depth = bracket_depth.saturating_sub(1);
+                        } else if t.is_punct(';') && bracket_depth == 0 {
                             break; // trait method declaration, no body
                         }
                         j += 1;
@@ -190,6 +198,16 @@ mod tests {
         let s = analyze(&lexed);
         assert_eq!(s.fns.len(), 1);
         assert_eq!(s.fns[0].name, "with_default");
+    }
+
+    #[test]
+    fn array_types_in_signature_do_not_end_the_item() {
+        let src =
+            "fn strip(bits: &[u64; 8]) -> [f64; 8] { t(bits) }\ntrait T { fn d(x: [u64; 4]); }";
+        let lexed = lex(src);
+        let s = analyze(&lexed);
+        assert_eq!(s.fns.len(), 1);
+        assert_eq!(s.fns[0].name, "strip");
     }
 
     #[test]

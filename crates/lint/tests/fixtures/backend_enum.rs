@@ -1,6 +1,7 @@
-//! Backend-pins fixture: a two-variant backend enum.
+//! Backend-pins fixture: a three-variant backend enum.
 
 pub enum NoiseBackend {
     Reference,
     FastLn,
+    FastLnWide,
 }

@@ -5,3 +5,6 @@ fn reference_golden_release() {}
 
 #[test]
 fn fast_ln_golden_release() {}
+
+#[test]
+fn fast_ln_wide_golden_release() {}

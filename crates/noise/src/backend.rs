@@ -15,6 +15,17 @@
 //!   evaluated in blocks so the compiler vectorizes it. Different bits
 //!   (within [`FAST_LN_MAX_ULP`] of the reference per sample, and exactly
 //!   Laplace-distributed either way), pinned by its own golden snapshots.
+//! * [`NoiseBackend::FastLnWide`] — the fused wide-lane pass: raw RNG bits
+//!   go straight through a branch-free bits→uniform→ln→sign→scale kernel
+//!   written over fixed-width lanes, with no staging buffer and no boundary
+//!   select (the uniform is constructed as an odd multiple of 2⁻⁵², so the
+//!   `ln` argument is always a positive normal). Its logarithm is a fused
+//!   variant of [`fast_ln`] that folds the uniform's 2⁻⁵² scale into the
+//!   range-reduction constant and keeps the reduced exponent in float form
+//!   throughout — same [`FAST_LN_MAX_ULP`] accuracy contract, fewer
+//!   cross-domain moves. It consumes one `u64` per draw in index order like
+//!   the others, but *transforms* those bits differently — a new frozen
+//!   algorithm with its own pins.
 //!
 //! The versioning policy, in full:
 //!
@@ -22,10 +33,12 @@
 //!    change to its draw order, uniform-to-sample transform, or arithmetic
 //!    is a *new backend*, not an edit.
 //! 2. Adding a backend means: a new [`NoiseBackend`] variant, a sampler
-//!    whose per-sample uniform consumption matches the existing backends
-//!    (one `u64` per draw, index order — so backends are interchangeable
-//!    mid-stream), accuracy/moment tests, and seed-pinned golden snapshots
-//!    in `tests/golden_releases.rs`.
+//!    that consumes exactly one `u64` of the stream per draw in index
+//!    order (so backends stay interchangeable mid-stream even when, like
+//!    `FastLnWide`, they map those bits to a sample differently),
+//!    accuracy/moment tests, and seed-pinned golden snapshots in
+//!    `tests/golden_releases.rs` *and* `tests/snapshot_serving.rs` (the
+//!    hc-lint `backend-pins` rule enforces both).
 //! 3. `Reference` is the default everywhere; faster backends are opt-in via
 //!    `with_backend` constructors on the mechanism and pipeline types.
 
@@ -47,6 +60,18 @@ pub enum NoiseBackend {
     /// ≥ 2× faster per draw on an AVX2 target; samples differ from
     /// `Reference` by at most a few ulp and carry their own golden pins.
     FastLn,
+    /// v3 — the fused wide-lane pass: one `u64` of raw RNG bits per draw is
+    /// mapped to the sign (bit 0) and a uniform that is an odd multiple of
+    /// 2⁻⁵² in (0, 1) (bits 12…63), then pushed through the kernel's own
+    /// fused `ln` (the [`fast_ln`] range reduction with the 2⁻⁵² scale
+    /// folded into the integer offset, accurate to [`FAST_LN_MAX_ULP`] ulp
+    /// of `f64::ln`) — all straight-line lane arithmetic with no staging
+    /// copy and no boundary select, so the whole draw pipeline, RNG block
+    /// included, vectorizes at the pinned `x86-64-v3` target. Uniform
+    /// *bits* differ from the other backends (same stream position,
+    /// different transform), so its samples are not ulp-close to theirs;
+    /// it is an exact Laplace sampler with its own frozen golden pins.
+    FastLnWide,
 }
 
 impl NoiseBackend {
@@ -55,6 +80,7 @@ impl NoiseBackend {
         match self {
             NoiseBackend::Reference => "reference",
             NoiseBackend::FastLn => "fast_ln",
+            NoiseBackend::FastLnWide => "fast_ln_wide",
         }
     }
 }
@@ -68,13 +94,13 @@ pub const FAST_LN_MAX_ULP: u64 = 4;
 /// `ln 2` split hi/lo (the fdlibm constants, given by their exact bits): the
 /// high part's 20 trailing mantissa bits are zero, so `k·LN2_HI` is exact
 /// for every exponent `|k| ≤ 1074`, and the residual lands in the low part.
-const LN2_HI: f64 = f64::from_bits(0x3FE6_2E42_FEE0_0000); // 6.93147180369123816490e-1
-const LN2_LO: f64 = f64::from_bits(0x3DEA_39EF_3579_3C76); // 1.90821492927058770002e-10
+pub(crate) const LN2_HI: f64 = f64::from_bits(0x3FE6_2E42_FEE0_0000); // 6.93147180369123816490e-1
+pub(crate) const LN2_LO: f64 = f64::from_bits(0x3DEA_39EF_3579_3C76); // 1.90821492927058770002e-10
 
 /// Bias offset for the branch-free range reduction (musl's `log` trick):
 /// subtracting it in integer space splits `x = z · 2^k` with
 /// `z ∈ [0.6875, 1.375)` without a compare on the mantissa.
-const REDUCTION_OFF: u64 = 0x3FE6_0000_0000_0000;
+pub(crate) const REDUCTION_OFF: u64 = 0x3FE6_0000_0000_0000;
 
 /// Natural logarithm via branch-free range reduction and a fixed-degree
 /// polynomial — the kernel of [`NoiseBackend::FastLn`].
@@ -143,6 +169,7 @@ mod tests {
     fn backend_names_are_stable() {
         assert_eq!(NoiseBackend::Reference.name(), "reference");
         assert_eq!(NoiseBackend::FastLn.name(), "fast_ln");
+        assert_eq!(NoiseBackend::FastLnWide.name(), "fast_ln_wide");
         assert_eq!(NoiseBackend::default(), NoiseBackend::Reference);
     }
 

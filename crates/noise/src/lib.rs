@@ -13,9 +13,10 @@
 //!   from a master seed, so every experiment in the repository is exactly
 //!   reproducible.
 //! * [`NoiseBackend`] — versioned sampling algorithms for the batch Laplace
-//!   paths: the frozen [`NoiseBackend::Reference`] scalar sampler and the
-//!   vectorized-[`fast_ln`] [`NoiseBackend::FastLn`] sampler, each with its
-//!   own golden-release pins (see [`backend`] for the versioning policy).
+//!   paths: the frozen [`NoiseBackend::Reference`] scalar sampler, the
+//!   vectorized-[`fast_ln`] [`NoiseBackend::FastLn`] sampler, and the fused
+//!   wide-lane [`NoiseBackend::FastLnWide`] sampler, each with its own
+//!   golden-release pins (see [`backend`] for the versioning policy).
 //!
 //! The `rand` crate supplies only the uniform bit stream; all distribution
 //! logic lives here so it can be tested against closed forms.
@@ -61,3 +62,40 @@ impl core::fmt::Display for NoiseError {
 }
 
 impl std::error::Error for NoiseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::rng_from_seed;
+    use rand::Rng;
+
+    #[test]
+    fn fill_u64_matches_per_call_draws() {
+        // The StdRng override keeps the xoshiro state in registers for the
+        // whole block; this pins that it produces exactly the per-call
+        // stream, for every length (including 0) and when resumed mid-way.
+        for len in [0usize, 1, 7, 8, 9, 63, 256, 1000] {
+            let mut bulk_rng = rng_from_seed(4242);
+            let mut call_rng = rng_from_seed(4242);
+            let mut bulk = vec![0u64; len];
+            bulk_rng.fill_u64(&mut bulk);
+            let calls: Vec<u64> = (0..len).map(|_| call_rng.next_u64()).collect();
+            assert_eq!(bulk, calls, "len = {len}");
+            // The state after the block matches too, so bulk and per-call
+            // draws can be interleaved freely.
+            assert_eq!(bulk_rng.next_u64(), call_rng.next_u64(), "len = {len}");
+        }
+        // The `&mut R` forwarding impl routes to the same override: a
+        // generic caller handed `&mut StdRng` resolves `fill_u64` through
+        // `impl Rng for &mut R`, not the concrete override directly.
+        fn fill_generic<R: Rng>(mut rng: R, out: &mut [u64]) {
+            rng.fill_u64(out);
+        }
+        let mut a = rng_from_seed(77);
+        let mut b = rng_from_seed(77);
+        let mut via_ref = [0u64; 16];
+        fill_generic(&mut a, &mut via_ref);
+        let mut direct = [0u64; 16];
+        b.fill_u64(&mut direct);
+        assert_eq!(via_ref, direct);
+    }
+}

@@ -144,6 +144,7 @@ pub struct TenantConfig {
     refresh_every: u64,
     seed: u64,
     shards: usize,
+    blocked_rebuild: bool,
 }
 
 impl TenantConfig {
@@ -165,6 +166,7 @@ impl TenantConfig {
             refresh_every: 1000,
             seed: 0,
             shards: 4,
+            blocked_rebuild: false,
         }
     }
 
@@ -217,6 +219,22 @@ impl TenantConfig {
     /// draws from `SeedStream::new(seed).rng(i)`.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Opts the tenant's tree-backed releases (hierarchical and budgeted)
+    /// into the blocked prefix rebuild
+    /// ([`ConsistentSnapshot::rebuild_from_tree_values_blocked`]): the
+    /// publisher's prefix scan runs one serial add per 8-leaf block instead
+    /// of one per leaf.
+    ///
+    /// **This is an explicit bit opt-in.** The blocked scan reassociates
+    /// the leaf summation, so served answers differ in their low bits from
+    /// the default serial rebuild (the mode carries its own golden pins in
+    /// `tests/snapshot_serving.rs`). Flat releases already serve from fused
+    /// prefix arrays and are unaffected.
+    pub fn with_blocked_rebuild(mut self) -> Self {
+        self.blocked_rebuild = true;
         self
     }
 
@@ -506,8 +524,12 @@ impl HistogramService {
                     inferred,
                 } = hier.as_mut();
                 engine.release_and_infer(prepared, &histogram, &mut rng, inferred);
-                let mut snapshot =
-                    ConsistentSnapshot::from_tree_values(shape, inferred, domain_size);
+                let mut snapshot = Self::tree_snapshot(
+                    shape,
+                    inferred,
+                    domain_size,
+                    tenant.config.blocked_rebuild,
+                );
                 snapshot.set_noise_scale(Some(prepared.noise_scale()));
                 snapshot
             }
@@ -518,10 +540,11 @@ impl HistogramService {
                 // Per-level scales differ under a geometric split, so no
                 // single Laplace scale is attached: confidence queries
                 // report `None` rather than a wrong union bound.
-                ConsistentSnapshot::from_tree_values(
+                Self::tree_snapshot(
                     release.shape(),
                     tree.node_values(),
                     domain_size,
+                    tenant.config.blocked_rebuild,
                 )
             }
         };
@@ -534,6 +557,25 @@ impl HistogramService {
             spent,
             remaining: state.budget.remaining(),
         })
+    }
+
+    /// Builds the published snapshot from a tree-node vector, routing to
+    /// the blocked prefix scan only for tenants that opted in via
+    /// [`TenantConfig::with_blocked_rebuild`]. The default path is the
+    /// frozen serial rebuild — bit-identical to every existing pin.
+    fn tree_snapshot(
+        shape: &TreeShape,
+        values: &[f64],
+        domain_size: usize,
+        blocked: bool,
+    ) -> ConsistentSnapshot {
+        if blocked {
+            let mut snapshot = ConsistentSnapshot::from_leaves(&[], 0);
+            snapshot.rebuild_from_tree_values_blocked(shape, values, domain_size);
+            snapshot
+        } else {
+            ConsistentSnapshot::from_tree_values(shape, values, domain_size)
+        }
     }
 
     /// Answers one range query from the tenant's current snapshot. Empty
@@ -770,6 +812,34 @@ mod tests {
         let q = RangeQuery::new(2, 10);
         assert!(service.confidence(flat, q, 0.95).unwrap().is_some());
         assert!(service.confidence(budgeted, q, 0.95).unwrap().is_none());
+    }
+
+    #[test]
+    fn blocked_rebuild_opt_in_serves_within_tolerance_of_the_default() {
+        // Two tenants, identical strategy/seed/data — one on the default
+        // serial rebuild, one opted into the blocked scan. The blocked
+        // tenant's answers must agree to float tolerance (the reassociation
+        // only moves low bits); its bits are pinned separately in
+        // tests/snapshot_serving.rs.
+        let mut service = HistogramService::new();
+        let serial = service.register(config("serial", 64)).unwrap();
+        let blocked = service
+            .register(config("blocked", 64).with_blocked_rebuild())
+            .unwrap();
+        let deltas: Vec<(usize, u64)> = (0..64).map(|i| (i, (i as u64 * 7) % 13)).collect();
+        for id in [serial, blocked] {
+            service.ingest(id, &deltas).unwrap();
+            service.publish(id).unwrap();
+        }
+        for (lo, hi) in [(0usize, 64usize), (3, 40), (17, 18), (0, 1)] {
+            let q = RangeQuery::new(lo, hi);
+            let a = service.answer(serial, q).unwrap();
+            let b = service.answer(blocked, q).unwrap();
+            assert!(
+                (a - b).abs() <= 1e-9 * a.abs().max(1.0),
+                "[{lo},{hi}) {a} vs {b}"
+            );
+        }
     }
 
     #[test]

@@ -25,6 +25,22 @@ pub trait Rng {
     /// Returns the next 64 uniformly random bits.
     fn next_u64(&mut self) -> u64;
 
+    /// Fills `out` with consecutive draws — exactly the bits that repeated
+    /// [`Rng::next_u64`] calls would produce, in the same order.
+    ///
+    /// Generators should override this when their state would otherwise be
+    /// spilled to memory between calls: `StdRng`'s override keeps the four
+    /// xoshiro words in registers for the whole block, which is what the
+    /// bulk noise kernels in `hc-noise` are built on. The default is the
+    /// plain per-call loop, so any override is checked against it by the
+    /// stream-equality tests.
+    #[inline]
+    fn fill_u64(&mut self, out: &mut [u64]) {
+        for slot in out {
+            *slot = self.next_u64();
+        }
+    }
+
     /// Returns the next 32 uniformly random bits.
     fn next_u32(&mut self) -> u32 {
         (self.next_u64() >> 32) as u32
@@ -52,8 +68,14 @@ pub trait Rng {
 }
 
 impl<R: Rng + ?Sized> Rng for &mut R {
+    #[inline]
     fn next_u64(&mut self) -> u64 {
         (**self).next_u64()
+    }
+
+    #[inline]
+    fn fill_u64(&mut self, out: &mut [u64]) {
+        (**self).fill_u64(out)
     }
 }
 
